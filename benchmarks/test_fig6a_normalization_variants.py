@@ -1,0 +1,56 @@
+"""Figure 6a: L2 estimation error of DCE for the 3 normalization variants.
+
+Setup: n=10k, d=25, h=8, f=0.05, lambda=10, varying the maximal path length.
+Expected shape: variant 1 (row-stochastic) is at least as good as variants 2
+and 3, and longer paths do not hurt at this label density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import DCE
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.metrics import compatibility_l2
+from repro.eval.seeding import stratified_seed_labels
+
+from conftest import print_table
+
+MAX_LENGTHS = [1, 2, 3, 4, 5]
+VARIANTS = [1, 2, 3]
+
+
+def run_variants(graph):
+    gold = gold_standard_compatibility(graph)
+    rows = []
+    for max_length in MAX_LENGTHS:
+        row = [max_length]
+        for variant in VARIANTS:
+            errors = []
+            for repetition in range(2):
+                seed_labels = stratified_seed_labels(
+                    graph.labels, fraction=0.05, rng=100 + repetition
+                )
+                estimate = DCE(max_length=max_length, scaling=10.0, variant=variant).fit(
+                    graph, seed_labels
+                )
+                errors.append(compatibility_l2(estimate.compatibility, gold))
+            row.append(float(np.mean(errors)))
+        rows.append(row)
+    return rows
+
+
+def test_fig6a_normalization_variants(benchmark, paper_graph_h8):
+    rows = benchmark.pedantic(run_variants, args=(paper_graph_h8,), rounds=1, iterations=1)
+    print_table(
+        "Fig 6a: L2 norm to GS for DCE variants (h=8, f=0.05, lambda=10)",
+        ["l_max", "variant 1", "variant 2", "variant 3"],
+        rows,
+    )
+    table = np.asarray(rows, dtype=float)
+    mean_by_variant = table[:, 1:].mean(axis=0)
+    # Shape 1: variant 1 is the best (or tied) on average.
+    assert mean_by_variant[0] <= mean_by_variant[1] + 0.02
+    assert mean_by_variant[0] <= mean_by_variant[2] + 0.02
+    # Shape 2: all variants achieve a small error at this label density.
+    assert mean_by_variant[0] < 0.2

@@ -1,0 +1,84 @@
+"""Figures 6c and 6d: the optimal lambda across label sparsity f and degree d.
+
+The paper scans lambda for many (f, d) settings and shows that lambda=10 is a
+robust default: it is optimal (or within 10% of optimal) in the sparse regime
+and only clearly sub-optimal when labels are plentiful, where small lambda
+(learning from immediate neighbors) suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.estimators import DCEr
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.metrics import compatibility_l2
+from repro.eval.seeding import stratified_seed_labels
+from repro.graph.generator import generate_graph
+
+from conftest import print_table
+
+LAMBDAS = [0.3, 1.0, 10.0, 100.0]
+FRACTIONS = [0.003, 0.01, 0.1, 0.5]
+DEGREES = [5, 10, 25]
+
+
+def best_lambda_for(graph, fraction, rng_seed):
+    gold = gold_standard_compatibility(graph)
+    seed_labels = stratified_seed_labels(graph.labels, fraction=fraction, rng=rng_seed)
+    errors = {}
+    for scaling in LAMBDAS:
+        estimate = DCEr(scaling=scaling, n_restarts=6, seed=0).fit(graph, seed_labels)
+        errors[scaling] = compatibility_l2(estimate.compatibility, gold)
+    return errors
+
+
+def run_fraction_scan(graph):
+    rows = []
+    for fraction in FRACTIONS:
+        errors = best_lambda_for(graph, fraction, rng_seed=11)
+        optimal = min(errors, key=errors.get)
+        rows.append([fraction, optimal] + [errors[s] for s in LAMBDAS])
+    return rows
+
+
+def run_degree_scan():
+    rows = []
+    for degree in DEGREES:
+        graph = generate_graph(
+            2_500, 2_500 * degree // 2, skew_compatibility(3, h=8.0), seed=degree
+        )
+        errors = best_lambda_for(graph, fraction=0.02, rng_seed=13)
+        optimal = min(errors, key=errors.get)
+        rows.append([degree, optimal] + [errors[s] for s in LAMBDAS])
+    return rows
+
+
+def test_fig6c_lambda_robustness_over_f(benchmark, paper_graph_h8):
+    rows = benchmark.pedantic(
+        run_fraction_scan, args=(paper_graph_h8,), rounds=1, iterations=1
+    )
+    print_table(
+        "Fig 6c: L2 per lambda across label sparsity f (h=8, d=25)",
+        ["f", "best lambda"] + [f"lam={s}" for s in LAMBDAS],
+        rows,
+    )
+    # Shape: in the sparse regime (smallest f) lambda=10 is within 10% of the
+    # best scanned lambda.
+    sparse_row = rows[0]
+    errors = dict(zip(LAMBDAS, sparse_row[2:]))
+    assert errors[10.0] <= 1.1 * min(errors.values()) + 0.02
+
+
+def test_fig6d_lambda_robustness_over_d(benchmark):
+    rows = benchmark.pedantic(run_degree_scan, rounds=1, iterations=1)
+    print_table(
+        "Fig 6d: L2 per lambda across average degree d (h=8, f=0.02)",
+        ["d", "best lambda"] + [f"lam={s}" for s in LAMBDAS],
+        rows,
+    )
+    # Shape: lambda=10 stays within 25% of the scanned optimum for every degree.
+    for row in rows:
+        errors = dict(zip(LAMBDAS, row[2:]))
+        assert errors[10.0] <= 1.25 * min(errors.values()) + 0.03

@@ -1,0 +1,62 @@
+"""Figure 6f: accuracy vs. estimation time (n=10k, d=25, h=3, f=0.003).
+
+The paper's scatter plot places every estimator in the accuracy/time plane,
+with the Holdout baseline evaluated for b in {1, 2, 4, 8} splits.  Expected
+shape: DCEr reaches (close to) GS accuracy at a time budget orders of
+magnitude below Holdout; increasing b buys Holdout a little accuracy at a
+proportional increase in cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import DCE, DCEr, GoldStandard, HoldoutEstimator, LCE, MCE
+from repro.eval.experiment import run_experiment
+
+from conftest import print_table
+
+FRACTION = 0.005
+HOLDOUT_SPLITS = [1, 2]
+
+
+def run_scatter(graph):
+    rows = []
+    estimators = [
+        ("GS", GoldStandard()),
+        ("MCE", MCE()),
+        ("LCE", LCE()),
+        ("DCE", DCE()),
+        ("DCEr", DCEr(seed=0, n_restarts=8)),
+    ]
+    for splits in HOLDOUT_SPLITS:
+        estimators.append(
+            (f"Holdout(b={splits})", HoldoutEstimator(n_splits=splits, seed=0, max_evaluations=40))
+        )
+    for name, estimator in estimators:
+        accuracies, times = [], []
+        for repetition in range(2):
+            result = run_experiment(
+                graph, estimator, label_fraction=FRACTION, seed=400 + repetition
+            )
+            accuracies.append(result.accuracy)
+            times.append(result.estimation_seconds)
+        rows.append([name, float(np.median(times)), float(np.mean(accuracies))])
+    return rows
+
+
+def test_fig6f_accuracy_vs_time(benchmark, paper_graph_10k):
+    rows = benchmark.pedantic(run_scatter, args=(paper_graph_10k,), rounds=1, iterations=1)
+    print_table(
+        f"Fig 6f: accuracy vs estimation time (h=3, f={FRACTION})",
+        ["method", "time [s]", "accuracy"],
+        rows,
+    )
+    results = {row[0]: (row[1], row[2]) for row in rows}
+    # Shape 1: DCEr accuracy within a few points of GS.
+    assert results["DCEr"][1] >= results["GS"][1] - 0.06
+    # Shape 2: DCEr is far cheaper than the cheapest Holdout configuration.
+    cheapest_holdout_time = min(results[f"Holdout(b={b})"][0] for b in HOLDOUT_SPLITS)
+    assert results["DCEr"][0] < cheapest_holdout_time / 10
+    # Shape 3: more splits cost proportionally more time.
+    assert results["Holdout(b=2)"][0] > results["Holdout(b=1)"][0]

@@ -1,0 +1,68 @@
+"""Figure 6g: end-to-end accuracy vs. number of classes k (f=0.01).
+
+Expected shape: accuracy decreases with k for every method (more classes,
+same label budget, O(k^2) parameters to learn), DCEr stays closest to GS and
+everything stays above the 1/k random baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.estimators import DCEr, GoldStandard, MCE
+from repro.eval.sweeps import sweep_parameter
+from repro.graph.generator import generate_graph
+
+from conftest import print_table
+
+CLASS_COUNTS = [2, 3, 5, 7]
+FRACTION = 0.02
+
+
+def run_k_sweep():
+    def graph_factory(k):
+        return generate_graph(
+            3_000, 37_500, skew_compatibility(k, h=3.0), seed=1000 + k, name=f"k={k}"
+        )
+
+    def estimator_factory(k):
+        return {
+            "GS": GoldStandard(),
+            "MCE": MCE(),
+            "DCEr": DCEr(seed=0, n_restarts=10),
+        }
+
+    return sweep_parameter(
+        graph_factory,
+        estimator_factory,
+        parameter_name="k",
+        parameter_values=CLASS_COUNTS,
+        label_fraction=FRACTION,
+        n_repetitions=2,
+        seed=3,
+    )
+
+
+def test_fig6g_accuracy_vs_classes(benchmark):
+    sweep = benchmark.pedantic(run_k_sweep, rounds=1, iterations=1)
+    rows = []
+    for index, k in enumerate(CLASS_COUNTS):
+        rows.append(
+            [k, 1.0 / k]
+            + [sweep.series(method, "accuracy")[index] for method in ["GS", "MCE", "DCEr"]]
+        )
+    print_table(
+        f"Fig 6g: accuracy vs number of classes (h=3, f={FRACTION})",
+        ["k", "random", "GS", "MCE", "DCEr"],
+        rows,
+    )
+    gs = np.array(sweep.series("GS", "accuracy"))
+    dcer = np.array(sweep.series("DCEr", "accuracy"))
+    random_baseline = np.array([1.0 / k for k in CLASS_COUNTS])
+    # Shape 1: DCEr follows GS for every k.
+    assert np.all(dcer >= gs - 0.08)
+    # Shape 2: everything beats random guessing.
+    assert np.all(dcer > random_baseline + 0.05)
+    # Shape 3: accuracy decreases from k=2 to k=7 (harder problem).
+    assert dcer[-1] < dcer[0]

@@ -1,0 +1,55 @@
+"""Figure 6l: estimation time vs. number of classes k (n=10k, d=25, f=0.01).
+
+Expected shape: the factorized estimators grow gently with k (graph
+summarization is O(mk), the optimization O(k^4 r)), while the Holdout
+baseline — which runs full propagation per objective evaluation — is far more
+expensive at every k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.estimators import DCE, DCEr, HoldoutEstimator, LCE, MCE
+from repro.eval.timing import time_estimation
+from repro.graph.generator import generate_graph
+
+from conftest import print_table
+
+CLASS_COUNTS = [2, 3, 5, 7]
+FRACTION = 0.02
+
+
+def run_time_vs_k():
+    rows = []
+    for k in CLASS_COUNTS:
+        graph = generate_graph(
+            2_000, 25_000, skew_compatibility(k, h=3.0), seed=1500 + k, name=f"k={k}"
+        )
+        row = [k]
+        for name, estimator in [
+            ("LCE", LCE()),
+            ("MCE", MCE()),
+            ("DCE", DCE()),
+            ("DCEr", DCEr(seed=0, n_restarts=10)),
+            ("Holdout", HoldoutEstimator(seed=0, max_evaluations=30)),
+        ]:
+            row.append(time_estimation(graph, estimator, FRACTION, seed=k).seconds)
+        rows.append(row)
+    return rows
+
+
+def test_fig6l_estimation_time_vs_k(benchmark):
+    rows = benchmark.pedantic(run_time_vs_k, rounds=1, iterations=1)
+    print_table(
+        f"Fig 6l: estimation time [s] vs number of classes (f={FRACTION})",
+        ["k", "LCE", "MCE", "DCE", "DCEr", "Holdout"],
+        rows,
+    )
+    table = np.asarray(rows, dtype=float)
+    # Shape 1: Holdout is the most expensive method for every k.
+    factorized_max = table[:, 1:5].max(axis=1)
+    assert np.all(table[:, 5] > factorized_max)
+    # Shape 2: MCE stays cheap (well under a second) across all k.
+    assert np.all(table[:, 2] < 1.0)

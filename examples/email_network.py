@@ -1,0 +1,92 @@
+"""Example 1.1 from the paper: a corporate email network with mixed compatibilities.
+
+Three classes of users: marketing (0), engineering (1) and C-level
+executives (2).  Marketing and engineering mostly email each other
+(heterophily between classes 0 and 1) while executives email amongst
+themselves (homophily for class 2).  Given a *handful* of known roles, can we
+recover both the communication pattern and everyone's role?
+
+The example compares:
+  * DCEr + LinBP (the paper's pipeline, no prior knowledge),
+  * a homophily baseline (harmonic functions), which fails on this pattern,
+  * LinBP with the gold-standard compatibilities (the ceiling).
+
+Run with:  python examples/email_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DCEr, GoldStandard, generate_graph
+from repro.eval.metrics import confusion_matrix, macro_accuracy
+from repro.eval.seeding import stratified_seed_indices
+from repro.propagation.harmonic import harmonic_functions
+from repro.propagation.linbp import propagate_and_label
+from repro.utils.matrix import nearest_doubly_stochastic
+
+ROLES = ["marketing", "engineering", "executive"]
+
+# Communication pattern of Example 1.1 / Fig. 1b: marketing <-> engineering,
+# executives <-> executives.
+EMAIL_COMPATIBILITY = nearest_doubly_stochastic(
+    np.array(
+        [
+            [0.2, 0.6, 0.2],
+            [0.6, 0.2, 0.2],
+            [0.2, 0.2, 0.6],
+        ]
+    )
+)
+
+
+def main() -> None:
+    graph = generate_graph(
+        n_nodes=4_000,
+        n_edges=40_000,
+        compatibility=EMAIL_COMPATIBILITY,
+        class_prior=np.array([0.35, 0.5, 0.15]),  # few executives
+        distribution="powerlaw",
+        seed=42,
+        name="email-network",
+    )
+    print(f"Email network: {graph}")
+    print(f"Role distribution: "
+          f"{dict(zip(ROLES, np.round(graph.class_prior(), 2)))}\n")
+
+    # Reveal the roles of only 20 employees.
+    rng = np.random.default_rng(3)
+    seeds = stratified_seed_indices(graph.labels, n_seeds=20, rng=rng, min_per_class=2)
+    partial = graph.partial_labels(seeds)
+    print(f"Known roles: {len(seeds)} of {graph.n_nodes} employees\n")
+
+    # 1. Estimate the communication pattern with DCEr.
+    estimate = DCEr(n_restarts=10, seed=0).fit(graph, partial)
+    print("Estimated compatibility matrix (rows/cols = roles):")
+    print(np.round(estimate.compatibility, 2))
+    print(f"(estimated in {estimate.elapsed_seconds:.2f}s)\n")
+
+    # 2. Label everyone else three ways and compare.
+    methods = {}
+    methods["DCEr + LinBP"] = propagate_and_label(graph, partial, estimate.compatibility)
+    gold = GoldStandard().fit(graph, partial).compatibility
+    methods["GS + LinBP"] = propagate_and_label(graph, partial, gold)
+    methods["Homophily baseline"] = harmonic_functions(graph.adjacency, partial, 3)
+
+    print(f"{'method':<22} macro accuracy")
+    for name, predicted in methods.items():
+        score = macro_accuracy(graph.labels, predicted, 3, exclude_indices=seeds)
+        print(f"{name:<22} {score:.3f}")
+
+    print("\nConfusion matrix for DCEr + LinBP (rows=true, cols=predicted):")
+    matrix = confusion_matrix(
+        graph.labels, methods["DCEr + LinBP"], 3, exclude_indices=seeds
+    )
+    header = " ".join(f"{role[:9]:>10}" for role in ROLES)
+    print(f"{'':12}{header}")
+    for role, row in zip(ROLES, matrix):
+        print(f"{role:<12}" + " ".join(f"{value:>10d}" for value in row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Heterophilous social network: the Pokec-Gender stand-in across label sparsity.
+
+Pokec users interact more with the opposite gender than with their own — a
+mildly heterophilous two-class problem where homophily SSL methods break
+down.  This example loads the synthetic stand-in (regenerated from the
+paper's published statistics, see DESIGN.md), sweeps the label fraction from
+0.1% to 20% and prints the accuracy of the gold standard, DCEr, MCE and the
+homophily baseline.
+
+Run with:  python examples/pokec_gender.py          (uses a small scale)
+           python examples/pokec_gender.py 0.02     (2% of the published size)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import DCEr, GoldStandard, MCE, load_dataset
+from repro.eval.metrics import macro_accuracy
+from repro.eval.seeding import stratified_seed_indices
+from repro.eval.sweeps import sweep_label_sparsity
+from repro.graph.datasets import dataset_spec
+from repro.propagation.harmonic import harmonic_functions
+
+FRACTIONS = [0.001, 0.01, 0.05, 0.2]
+
+
+def main(scale: float) -> None:
+    spec = dataset_spec("pokec-gender")
+    print(f"Pokec-Gender (published): n={spec.n_nodes:,}, m={spec.n_edges:,}, "
+          f"k={spec.n_classes}")
+    graph = load_dataset("pokec-gender", scale=scale, seed=0)
+    print(f"Stand-in at scale {scale}: n={graph.n_nodes:,}, m={graph.n_edges:,}\n")
+
+    sweep = sweep_label_sparsity(
+        graph,
+        {
+            "GS": GoldStandard(),
+            "MCE": MCE(),
+            "DCEr": DCEr(n_restarts=10, seed=0),
+        },
+        fractions=FRACTIONS,
+        n_repetitions=2,
+        seed=5,
+    )
+
+    print(f"{'f':>8} {'GS':>8} {'MCE':>8} {'DCEr':>8} {'homophily':>10}")
+    for index, fraction in enumerate(FRACTIONS):
+        # Homophily baseline evaluated separately (it is not an estimator).
+        rng = np.random.default_rng(100 + index)
+        seeds = stratified_seed_indices(graph.labels, fraction=fraction, rng=rng)
+        partial = graph.partial_labels(seeds)
+        homophily = macro_accuracy(
+            graph.labels,
+            harmonic_functions(graph.adjacency, partial, graph.n_classes),
+            graph.n_classes,
+            exclude_indices=seeds,
+        )
+        print(
+            f"{fraction:>8.3%} "
+            f"{sweep.series('GS', 'accuracy')[index]:>8.3f} "
+            f"{sweep.series('MCE', 'accuracy')[index]:>8.3f} "
+            f"{sweep.series('DCEr', 'accuracy')[index]:>8.3f} "
+            f"{homophily:>10.3f}"
+        )
+
+    print("\nMean DCEr estimation time: "
+          f"{np.mean(list(sweep.mean_estimation_seconds[('DCEr', f)] for f in FRACTIONS)):.2f}s")
+
+
+if __name__ == "__main__":
+    main(scale=float(sys.argv[1]) if len(sys.argv) > 1 else 0.005)

@@ -1,0 +1,65 @@
+"""Scalability demo: estimation is cheaper than propagation as graphs grow.
+
+Reproduces the spirit of the paper's Fig. 3b on your machine: for graphs of
+increasing size (same average degree d=5, strong heterophily h=8), measure
+
+  * DCEr compatibility estimation time,
+  * one LinBP labeling pass (10 iterations),
+  * the Holdout baseline (only on the smaller graphs — it quickly becomes
+    impractically slow, which is exactly the point).
+
+Run with:  python examples/scalability.py            (up to ~128k edges)
+           python examples/scalability.py 1000000    (custom max edge count)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import DCEr, skew_compatibility
+from repro.core.estimators import HoldoutEstimator, MCE
+from repro.eval.timing import time_estimation, time_propagation
+from repro.graph.generator import generate_graph
+
+HOLDOUT_LIMIT = 10_000  # edges beyond which we skip the Holdout baseline
+
+
+def main(max_edges: int) -> None:
+    compatibility = skew_compatibility(3, h=8.0)
+    edge_counts = []
+    edges = 2_000
+    while edges <= max_edges:
+        edge_counts.append(edges)
+        edges *= 4
+
+    print(f"{'edges':>10} {'MCE [s]':>10} {'DCEr [s]':>10} "
+          f"{'propagation [s]':>16} {'Holdout [s]':>12}")
+    for n_edges in edge_counts:
+        n_nodes = max(200, int(n_edges / 2.5))  # average degree 5
+        graph = generate_graph(
+            n_nodes, n_edges, compatibility, seed=n_edges, name=f"m={n_edges}"
+        )
+        mce_seconds = time_estimation(graph, MCE(), 0.05, seed=1).seconds
+        dcer_seconds = time_estimation(
+            graph, DCEr(n_restarts=10, seed=0), 0.05, seed=1
+        ).seconds
+        propagation_seconds = time_propagation(graph, compatibility, 0.05, seed=1).seconds
+        if n_edges <= HOLDOUT_LIMIT:
+            holdout_seconds = time_estimation(
+                graph, HoldoutEstimator(seed=0, max_evaluations=60), 0.05, seed=1
+            ).seconds
+            holdout_text = f"{holdout_seconds:>12.2f}"
+        else:
+            holdout_text = f"{'(skipped)':>12}"
+        print(
+            f"{graph.n_edges:>10,} {mce_seconds:>10.3f} {dcer_seconds:>10.3f} "
+            f"{propagation_seconds:>16.3f} {holdout_text}"
+        )
+
+    print("\nTakeaway: the factorized estimators stay in the same ballpark as a"
+          "\nsingle propagation pass (and become relatively cheaper as m grows),"
+          "\nwhile the Holdout baseline is orders of magnitude more expensive.")
+
+
+if __name__ == "__main__":
+    main(max_edges=int(sys.argv[1]) if len(sys.argv) > 1 else 128_000)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so the package can
+be installed with ``pip install -e .`` on environments without the ``wheel``
+package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""Factorized graph representations for semi-supervised learning from sparse data.
+
+A faithful, laptop-scale reproduction of the SIGMOD 2020 paper by
+Krishna Kumar P., Paul Langton and Wolfgang Gatterbauer.  The library covers:
+
+* the propagation substrate — LinBP, loopy BP, random-walk and homophily
+  baselines (:mod:`repro.propagation`),
+* the graph substrate — sparse graph container, planted-compatibility
+  generator and dataset stand-ins (:mod:`repro.graph`),
+* the paper's contribution — factorized non-backtracking path statistics and
+  the compatibility estimators Holdout, LCE, MCE, DCE and DCEr
+  (:mod:`repro.core`),
+* the evaluation harness reproducing every figure and table
+  (:mod:`repro.eval` and the top-level ``benchmarks/`` directory).
+
+Quickstart
+----------
+>>> from repro import generate_graph, skew_compatibility, DCEr, run_experiment
+>>> graph = generate_graph(2_000, 10_000, skew_compatibility(3, h=3.0), seed=7)
+>>> result = run_experiment(graph, DCEr(seed=0), label_fraction=0.05, seed=1)
+>>> result.accuracy > 0.5
+True
+"""
+
+from repro.core.compatibility import (
+    homophily_compatibility,
+    random_compatibility,
+    skew_compatibility,
+)
+from repro.core.estimators import (
+    DCE,
+    DCEr,
+    GoldStandard,
+    HeuristicEstimator,
+    HoldoutEstimator,
+    LCE,
+    MCE,
+)
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.experiment import run_experiment
+from repro.eval.metrics import accuracy, compatibility_l2, macro_accuracy
+from repro.eval.seeding import stratified_seed_indices, stratified_seed_labels
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.graph.generator import generate_graph
+from repro.graph.graph import Graph
+from repro.propagation.linbp import linbp, propagate_and_label
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DCE",
+    "DCEr",
+    "GoldStandard",
+    "Graph",
+    "HeuristicEstimator",
+    "HoldoutEstimator",
+    "LCE",
+    "MCE",
+    "__version__",
+    "accuracy",
+    "compatibility_l2",
+    "dataset_names",
+    "generate_graph",
+    "gold_standard_compatibility",
+    "homophily_compatibility",
+    "linbp",
+    "load_dataset",
+    "macro_accuracy",
+    "propagate_and_label",
+    "random_compatibility",
+    "run_experiment",
+    "skew_compatibility",
+    "stratified_seed_indices",
+    "stratified_seed_labels",
+]

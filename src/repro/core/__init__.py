@@ -1,0 +1,55 @@
+"""Core contribution: compatibility matrices, factorized statistics, estimators."""
+
+from repro.core.compatibility import (
+    free_parameter_count,
+    homophily_compatibility,
+    matrix_to_vector,
+    random_compatibility,
+    restart_initial_points,
+    skew_compatibility,
+    uniform_vector,
+    validate_compatibility,
+    vector_to_matrix,
+)
+from repro.core.estimators import (
+    BaseEstimator,
+    DCE,
+    DCEr,
+    EstimationResult,
+    GoldStandard,
+    HeuristicEstimator,
+    HoldoutEstimator,
+    LCE,
+    MCE,
+)
+from repro.core.statistics import (
+    gold_standard_compatibility,
+    neighbor_statistics,
+    normalize_statistics,
+    path_statistics,
+)
+
+__all__ = [
+    "BaseEstimator",
+    "DCE",
+    "DCEr",
+    "EstimationResult",
+    "GoldStandard",
+    "HeuristicEstimator",
+    "HoldoutEstimator",
+    "LCE",
+    "MCE",
+    "free_parameter_count",
+    "gold_standard_compatibility",
+    "homophily_compatibility",
+    "matrix_to_vector",
+    "neighbor_statistics",
+    "normalize_statistics",
+    "path_statistics",
+    "random_compatibility",
+    "restart_initial_points",
+    "skew_compatibility",
+    "uniform_vector",
+    "validate_compatibility",
+    "vector_to_matrix",
+]

@@ -1,0 +1,254 @@
+"""Energy functions and analytic gradients for compatibility estimation.
+
+Each estimator in the paper minimizes a different energy over the free
+parameters ``h`` of the compatibility matrix (Section 4):
+
+* LCE  — ``E(H) = ||X - W X H||^2``                       (Eq. 8)
+* MCE  — ``E(H) = ||H - P̂||^2``                           (Eq. 12)
+* DCE  — ``E(H) = sum_l w_l ||H^l - P̂^(l)||^2``           (Eq. 13 / 14)
+
+The DCE gradient with respect to the *full* matrix is Proposition 4.7's
+
+    ``G = 2 sum_l w_l ( l H^(2l-1) - sum_{r=0}^{l-1} H^r P̂^(l) H^(l-r-1) )``
+
+and the gradient with respect to a free parameter is the entry-wise dot
+product of ``G`` with that parameter's structure matrix ``S`` — the matrix
+``∂H/∂h_p`` that records how the dependent last row/column move when a free
+entry moves.  All of this operates on ``k x k`` matrices only, which is why
+the optimization step is independent of the graph size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.compatibility import free_parameter_indices, vector_to_matrix
+from repro.utils.validation import check_positive, check_square
+
+__all__ = [
+    "dce_weights",
+    "matrix_powers",
+    "dce_energy",
+    "dce_matrix_gradient",
+    "structure_matrix",
+    "free_parameter_gradient",
+    "dce_free_gradient",
+    "mce_energy",
+    "mce_matrix_gradient",
+    "LCETerms",
+    "lce_terms",
+    "lce_energy",
+    "lce_matrix_gradient",
+]
+
+
+# --------------------------------------------------------------------------- DCE
+def dce_weights(max_length: int, scaling: float) -> np.ndarray:
+    """Geometric weight vector ``w_l = scaling^(l-1)`` (the paper's lambda).
+
+    ``scaling`` is the single hyperparameter of the whole framework; larger
+    values emphasize longer (more numerous but individually weaker) paths,
+    which is what rescues estimation in the extremely sparse-label regime.
+    """
+    check_positive(max_length, "max_length")
+    if scaling <= 0:
+        raise ValueError(f"scaling factor must be positive, got {scaling}")
+    return np.asarray([scaling**exponent for exponent in range(max_length)])
+
+
+def matrix_powers(matrix: np.ndarray, max_power: int) -> list[np.ndarray]:
+    """``[H, H^2, ..., H^max_power]`` computed incrementally."""
+    matrix = check_square(matrix, "matrix")
+    check_positive(max_power, "max_power")
+    powers = [matrix]
+    for _ in range(1, max_power):
+        powers.append(powers[-1] @ matrix)
+    return powers
+
+
+def dce_energy(
+    matrix: np.ndarray, statistics: list[np.ndarray], weights: np.ndarray
+) -> float:
+    """Distance-smoothed energy ``sum_l w_l ||H^l - P̂^(l)||^2`` (Eq. 13/14)."""
+    matrix = check_square(matrix, "compatibility")
+    if len(statistics) != len(weights):
+        raise ValueError(
+            f"got {len(statistics)} statistics matrices but {len(weights)} weights"
+        )
+    powers = matrix_powers(matrix, len(statistics))
+    total = 0.0
+    for weight, power, observed in zip(weights, powers, statistics):
+        difference = power - observed
+        total += float(weight) * float(np.sum(difference * difference))
+    return total
+
+
+def dce_matrix_gradient(
+    matrix: np.ndarray, statistics: list[np.ndarray], weights: np.ndarray
+) -> np.ndarray:
+    """Gradient of the DCE energy with respect to the full matrix (Prop. 4.7).
+
+    Uses the general (transpose-aware) form so it stays correct even if the
+    iterate drifts slightly off the symmetric manifold numerically:
+    ``d||H^l - Z||^2 / dH = 2 sum_r (H^T)^r (H^l - Z) (H^T)^(l-1-r)``.
+    """
+    matrix = check_square(matrix, "compatibility")
+    n_terms = len(statistics)
+    if n_terms != len(weights):
+        raise ValueError("statistics and weights must have equal length")
+    powers = matrix_powers(matrix, n_terms)
+    transpose_powers = matrix_powers(matrix.T, n_terms) if n_terms > 1 else [matrix.T]
+    identity = np.eye(matrix.shape[0])
+
+    def transpose_power(exponent: int) -> np.ndarray:
+        if exponent == 0:
+            return identity
+        return transpose_powers[exponent - 1]
+
+    gradient = np.zeros_like(matrix)
+    for length_index, (weight, observed) in enumerate(zip(weights, statistics)):
+        length = length_index + 1
+        residual = powers[length_index] - observed
+        term = np.zeros_like(matrix)
+        for r in range(length):
+            term += transpose_power(r) @ residual @ transpose_power(length - 1 - r)
+        gradient += 2.0 * float(weight) * term
+    return gradient
+
+
+# ----------------------------------------------------------- constrained gradient
+def structure_matrix(n_classes: int, row: int, col: int) -> np.ndarray:
+    """``∂H/∂H[row, col]`` for a free parameter of the Eq. 6 parametrization.
+
+    ``row >= col`` and both lie in the leading ``(k-1) x (k-1)`` block.  The
+    returned matrix has +1 at the parameter position (and its mirror), -1 on
+    the dependent entries of the last row/column and +2 (or +1 for diagonal
+    parameters) at the bottom-right corner (Prop. 4.7).
+    """
+    if not (0 <= col <= row < n_classes - 1):
+        raise ValueError(
+            f"({row}, {col}) is not a free-parameter position for k={n_classes}"
+        )
+    last = n_classes - 1
+    structure = np.zeros((n_classes, n_classes), dtype=np.float64)
+    if row == col:
+        structure[row, col] = 1.0
+        structure[row, last] -= 1.0
+        structure[last, col] -= 1.0
+        structure[last, last] += 1.0
+    else:
+        structure[row, col] = 1.0
+        structure[col, row] = 1.0
+        structure[row, last] -= 1.0
+        structure[last, row] -= 1.0
+        structure[col, last] -= 1.0
+        structure[last, col] -= 1.0
+        structure[last, last] += 2.0
+    return structure
+
+
+def free_parameter_gradient(matrix_gradient: np.ndarray, n_classes: int) -> np.ndarray:
+    """Chain the full-matrix gradient through the Eq. 6 parametrization.
+
+    For each free parameter ``p`` at position ``(row, col)`` the derivative
+    is ``<S_p, G> = sum_ab S_p[a, b] * G[a, b]``; this closed form avoids
+    materializing the structure matrices.
+    """
+    matrix_gradient = check_square(matrix_gradient, "matrix_gradient")
+    last = n_classes - 1
+    gradient = np.empty(len(free_parameter_indices(n_classes)))
+    for index, (row, col) in enumerate(free_parameter_indices(n_classes)):
+        if row == col:
+            value = (
+                matrix_gradient[row, col]
+                - matrix_gradient[row, last]
+                - matrix_gradient[last, col]
+                + matrix_gradient[last, last]
+            )
+        else:
+            value = (
+                matrix_gradient[row, col]
+                + matrix_gradient[col, row]
+                - matrix_gradient[row, last]
+                - matrix_gradient[last, row]
+                - matrix_gradient[col, last]
+                - matrix_gradient[last, col]
+                + 2.0 * matrix_gradient[last, last]
+            )
+        gradient[index] = value
+    return gradient
+
+
+def dce_free_gradient(
+    parameters: np.ndarray,
+    n_classes: int,
+    statistics: list[np.ndarray],
+    weights: np.ndarray,
+) -> np.ndarray:
+    """DCE gradient with respect to the free-parameter vector ``h``."""
+    matrix = vector_to_matrix(parameters, n_classes)
+    matrix_gradient = dce_matrix_gradient(matrix, statistics, weights)
+    return free_parameter_gradient(matrix_gradient, n_classes)
+
+
+# --------------------------------------------------------------------------- MCE
+def mce_energy(matrix: np.ndarray, observed: np.ndarray) -> float:
+    """Myopic energy ``||H - P̂||^2`` (Eq. 12)."""
+    difference = np.asarray(matrix) - np.asarray(observed)
+    return float(np.sum(difference * difference))
+
+
+def mce_matrix_gradient(matrix: np.ndarray, observed: np.ndarray) -> np.ndarray:
+    """Gradient of the myopic energy with respect to the full matrix."""
+    return 2.0 * (np.asarray(matrix, dtype=np.float64) - np.asarray(observed))
+
+
+# --------------------------------------------------------------------------- LCE
+class LCETerms:
+    """Precomputed sufficient statistics of the LCE energy (Eq. 8).
+
+    With ``A = W X`` (an ``n x k`` matrix computed once),
+
+        ``||X - A H||^2 = ||X||^2 - 2 tr(H^T A^T X) + tr(H^T A^T A H)``
+
+    so only the two ``k x k`` matrices ``A^T A`` and ``A^T X`` and the scalar
+    ``||X||^2`` are needed during optimization — the same "summarize first,
+    optimize later" trick DCE uses, applied to the convex LCE objective.
+    """
+
+    def __init__(self, gram: np.ndarray, cross: np.ndarray, label_norm: float) -> None:
+        self.gram = np.asarray(gram, dtype=np.float64)
+        self.cross = np.asarray(cross, dtype=np.float64)
+        self.label_norm = float(label_norm)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes of the underlying problem."""
+        return self.gram.shape[0]
+
+
+def lce_terms(adjacency, labels_matrix) -> LCETerms:
+    """Build the :class:`LCETerms` summary from the graph and seed labels."""
+    dense_labels = (
+        labels_matrix.toarray() if sp.issparse(labels_matrix) else np.asarray(labels_matrix)
+    ).astype(np.float64)
+    propagated = np.asarray(adjacency @ dense_labels)
+    gram = propagated.T @ propagated
+    cross = propagated.T @ dense_labels
+    label_norm = float(np.sum(dense_labels * dense_labels))
+    return LCETerms(gram=gram, cross=cross, label_norm=label_norm)
+
+
+def lce_energy(matrix: np.ndarray, terms: LCETerms) -> float:
+    """LCE energy ``||X - W X H||^2`` evaluated from precomputed terms."""
+    matrix = check_square(matrix, "compatibility")
+    quadratic = float(np.trace(matrix.T @ terms.gram @ matrix))
+    linear = float(np.trace(matrix.T @ terms.cross))
+    return terms.label_norm - 2.0 * linear + quadratic
+
+
+def lce_matrix_gradient(matrix: np.ndarray, terms: LCETerms) -> np.ndarray:
+    """Gradient of the LCE energy with respect to the full matrix."""
+    matrix = check_square(matrix, "compatibility")
+    return 2.0 * (terms.gram @ matrix - terms.cross)

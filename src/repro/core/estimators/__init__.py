@@ -1,0 +1,21 @@
+"""Compatibility estimators: Holdout, LCE, MCE, DCE, DCEr, heuristics."""
+
+from repro.core.estimators.base import BaseEstimator, EstimationResult
+from repro.core.estimators.dce import DCE, DCEr
+from repro.core.estimators.gold import GoldStandard
+from repro.core.estimators.heuristic import HeuristicEstimator
+from repro.core.estimators.holdout import HoldoutEstimator
+from repro.core.estimators.lce import LCE
+from repro.core.estimators.mce import MCE
+
+__all__ = [
+    "BaseEstimator",
+    "DCE",
+    "DCEr",
+    "EstimationResult",
+    "GoldStandard",
+    "HeuristicEstimator",
+    "HoldoutEstimator",
+    "LCE",
+    "MCE",
+]

@@ -1,0 +1,50 @@
+"""Gold-standard compatibilities measured on the fully labeled graph.
+
+Not an estimator in the statistical sense — it *peeks* at every label — but
+it defines the ceiling every real estimator is compared against throughout
+the paper's evaluation (the "GS" curves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.estimators.base import BaseEstimator
+from repro.core.statistics import gold_standard_compatibility
+from repro.graph.graph import Graph
+
+__all__ = ["GoldStandard"]
+
+
+class GoldStandard(BaseEstimator):
+    """Measure ``H`` from the complete ground-truth labeling.
+
+    Parameters
+    ----------
+    project_doubly_stochastic:
+        Additionally project the row-normalized frequency matrix onto the
+        symmetric doubly-stochastic set (useful when planting the matrix in
+        the synthetic generator; the paper's GS curves use the plain
+        row-normalized frequencies).
+    """
+
+    method_name = "GS"
+
+    def __init__(self, project_doubly_stochastic: bool = False) -> None:
+        self.project_doubly_stochastic = project_doubly_stochastic
+
+    @property
+    def requires_seed_labels(self) -> bool:
+        return False
+
+    def _estimate(
+        self,
+        graph: Graph,
+        seed_labels: np.ndarray,
+        explicit_beliefs: sp.csr_matrix,
+    ) -> tuple[np.ndarray, float | None, dict]:
+        compatibility = gold_standard_compatibility(
+            graph, project_doubly_stochastic=self.project_doubly_stochastic
+        )
+        return compatibility, None, {"source": "full ground-truth labeling"}

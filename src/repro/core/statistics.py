@@ -1,0 +1,147 @@
+"""Factorized graph statistics: the small ``k x k`` summaries (Section 4.3/4.4).
+
+These functions turn a (partially) labeled graph into the compact matrices
+the estimators optimize against:
+
+* ``M = X^T W X`` — observed neighbor label counts (MCE, Section 4.3),
+* ``M^(l) = X^T W^(l) X`` and its non-backtracking variant
+  ``M_NB^(l) = X^T W_NB^(l) X`` — distance-``l`` label counts (DCE,
+  Section 4.4/4.5), computed through the factorized summation of
+  Algorithm 4.4 so the graph is touched only O(l_max) times,
+* the three normalization variants of Eq. 9-11 that map counts ``M`` to the
+  observed statistics matrices ``P̂``.
+
+Everything returned here is dense and ``k x k`` — the "graph sketch" whose
+size is independent of the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.nonbacktracking import factorized_nb_counts, factorized_walk_counts
+from repro.graph.graph import Graph, one_hot_labels
+from repro.utils.matrix import (
+    nearest_doubly_stochastic,
+    row_normalize,
+    scale_normalize,
+    symmetric_normalize,
+    to_csr,
+)
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "neighbor_statistics",
+    "path_statistics",
+    "normalize_statistics",
+    "observed_statistics",
+    "gold_standard_compatibility",
+    "NORMALIZATION_VARIANTS",
+]
+
+NORMALIZATION_VARIANTS = (1, 2, 3)
+"""Valid values for the ``variant`` argument (paper Eq. 9, 10, 11)."""
+
+
+def _as_dense_labels(labels_matrix) -> np.ndarray:
+    if sp.issparse(labels_matrix):
+        return np.asarray(labels_matrix.todense(), dtype=np.float64)
+    return np.asarray(labels_matrix, dtype=np.float64)
+
+
+def neighbor_statistics(adjacency, labels_matrix) -> np.ndarray:
+    """Observed neighbor label counts ``M = X^T W X`` (a ``k x k`` matrix).
+
+    ``M[c, d]`` counts (weighted) edges whose endpoints are labeled ``c`` and
+    ``d`` among the *labeled* nodes only, exactly the "myopic" statistic of
+    Section 4.3.
+    """
+    adjacency = to_csr(adjacency)
+    dense_labels = _as_dense_labels(labels_matrix)
+    propagated = np.asarray(adjacency @ dense_labels)
+    return dense_labels.T @ propagated
+
+
+def path_statistics(
+    adjacency,
+    labels_matrix,
+    max_length: int,
+    non_backtracking: bool = True,
+) -> list[np.ndarray]:
+    """Distance-``l`` label count matrices ``M^(l)`` for ``l = 1 .. max_length``.
+
+    Uses the factorized summation (Algorithm 4.4): intermediates stay
+    ``n x k`` and the total cost is O(m k max_length).  With
+    ``non_backtracking=True`` (the paper's recommendation) the counts exclude
+    paths that immediately reverse an edge, which Theorem 4.1 shows is what
+    makes the normalized statistics a consistent estimator of ``H^l``.
+    """
+    check_positive(max_length, "max_length")
+    adjacency = to_csr(adjacency)
+    dense_labels = _as_dense_labels(labels_matrix)
+    if non_backtracking:
+        counts = factorized_nb_counts(adjacency, dense_labels, max_length)
+    else:
+        counts = factorized_walk_counts(adjacency, dense_labels, max_length)
+    return [dense_labels.T @ count for count in counts]
+
+
+def normalize_statistics(counts: np.ndarray, variant: int = 1) -> np.ndarray:
+    """Map a count matrix ``M`` to an observed statistics matrix ``P̂``.
+
+    ``variant`` selects the paper's normalization:
+
+    1. row-stochastic ``diag(M 1)^-1 M`` (Eq. 9, the recommended default),
+    2. symmetric ``diag(M 1)^-1/2 M diag(M 1)^-1/2`` (Eq. 10, LGC-style),
+    3. scaled so the mean entry is ``1/k`` (Eq. 11).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if variant == 1:
+        return row_normalize(counts)
+    if variant == 2:
+        return symmetric_normalize(counts)
+    if variant == 3:
+        return scale_normalize(counts)
+    raise ValueError(f"variant must be one of {NORMALIZATION_VARIANTS}, got {variant}")
+
+
+def observed_statistics(
+    adjacency,
+    labels_matrix,
+    max_length: int = 5,
+    variant: int = 1,
+    non_backtracking: bool = True,
+) -> list[np.ndarray]:
+    """Normalized path statistics ``P̂^(l)`` for ``l = 1 .. max_length``.
+
+    This is the complete step (1) of the paper's two-step pipeline (Fig. 2):
+    a list of ``k x k`` sketches ready to be handed to the optimizer.
+    """
+    count_matrices = path_statistics(
+        adjacency, labels_matrix, max_length, non_backtracking=non_backtracking
+    )
+    return [normalize_statistics(counts, variant=variant) for counts in count_matrices]
+
+
+def gold_standard_compatibility(
+    graph: Graph, project_doubly_stochastic: bool = False
+) -> np.ndarray:
+    """Gold-standard compatibilities measured on the fully labeled graph.
+
+    As in Section 5.3: with every label known, ``H_GS`` is simply the
+    row-normalized neighbor label frequency matrix.  Set
+    ``project_doubly_stochastic=True`` to additionally project onto the
+    symmetric doubly-stochastic set (useful when the class prior is so
+    imbalanced that row normalization alone is noticeably non-symmetric,
+    e.g. before planting the matrix in the synthetic generator).
+    """
+    labels = graph.require_labels()
+    if graph.n_classes is None:
+        raise ValueError("graph must know its number of classes")
+    full_labels = one_hot_labels(labels, graph.n_classes)
+    counts = neighbor_statistics(graph.adjacency, full_labels)
+    statistics = normalize_statistics(counts, variant=1)
+    if project_doubly_stochastic:
+        statistics = nearest_doubly_stochastic(statistics)
+    return statistics

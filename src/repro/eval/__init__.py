@@ -1,0 +1,38 @@
+"""Evaluation harness: seeding, metrics, end-to-end experiments and sweeps."""
+
+from repro.eval.experiment import ExperimentResult, run_experiment
+from repro.eval.metrics import (
+    accuracy,
+    compatibility_l2,
+    confusion_matrix,
+    macro_accuracy,
+)
+from repro.eval.reporting import (
+    load_experiments_json,
+    save_experiments_json,
+    sweep_to_csv,
+    sweep_to_markdown,
+)
+from repro.eval.seeding import stratified_seed_indices, stratified_seed_labels
+from repro.eval.sweeps import SweepResult, sweep_label_sparsity, sweep_parameter
+from repro.eval.timing import time_estimation, time_propagation
+
+__all__ = [
+    "ExperimentResult",
+    "SweepResult",
+    "accuracy",
+    "compatibility_l2",
+    "confusion_matrix",
+    "load_experiments_json",
+    "macro_accuracy",
+    "run_experiment",
+    "save_experiments_json",
+    "stratified_seed_indices",
+    "stratified_seed_labels",
+    "sweep_label_sparsity",
+    "sweep_parameter",
+    "sweep_to_csv",
+    "sweep_to_markdown",
+    "time_estimation",
+    "time_propagation",
+]

@@ -1,0 +1,94 @@
+"""Evaluation metrics: (macro-averaged) accuracy and compatibility distance.
+
+The paper evaluates end-to-end accuracy as the fraction of the *remaining*
+(non-seed) nodes that receive correct labels and macro-averages over classes
+to account for class imbalance (Section 5, "Quality assessment").  Estimation
+quality is measured as the L2 (Frobenius) distance between the estimated and
+gold-standard compatibility matrices (Fig. 6a/6b/6e, Fig. 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.matrix import frobenius_distance
+from repro.utils.validation import check_labels
+
+__all__ = ["accuracy", "macro_accuracy", "confusion_matrix", "compatibility_l2"]
+
+
+def _evaluation_mask(
+    true_labels: np.ndarray, exclude_indices: np.ndarray | None
+) -> np.ndarray:
+    mask = true_labels >= 0
+    if exclude_indices is not None and len(exclude_indices):
+        mask = mask.copy()
+        mask[np.asarray(exclude_indices, dtype=np.int64)] = False
+    return mask
+
+
+def accuracy(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    exclude_indices: np.ndarray | None = None,
+) -> float:
+    """Micro accuracy over evaluated nodes (seeds excluded via ``exclude_indices``)."""
+    true_labels = check_labels(true_labels)
+    predicted_labels = check_labels(predicted_labels, n_nodes=true_labels.shape[0])
+    mask = _evaluation_mask(true_labels, exclude_indices)
+    if not np.any(mask):
+        return 0.0
+    return float(np.mean(predicted_labels[mask] == true_labels[mask]))
+
+
+def macro_accuracy(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    n_classes: int,
+    exclude_indices: np.ndarray | None = None,
+) -> float:
+    """Macro-averaged accuracy: mean of the per-class accuracies.
+
+    Classes with no evaluated members are skipped (they carry no signal).
+    This is the paper's headline accuracy metric.
+    """
+    true_labels = check_labels(true_labels)
+    predicted_labels = check_labels(predicted_labels, n_nodes=true_labels.shape[0])
+    mask = _evaluation_mask(true_labels, exclude_indices)
+    per_class = []
+    for class_index in range(n_classes):
+        members = mask & (true_labels == class_index)
+        if not np.any(members):
+            continue
+        per_class.append(float(np.mean(predicted_labels[members] == class_index)))
+    if not per_class:
+        return 0.0
+    return float(np.mean(per_class))
+
+
+def confusion_matrix(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    n_classes: int,
+    exclude_indices: np.ndarray | None = None,
+) -> np.ndarray:
+    """``k x k`` confusion matrix over the evaluated nodes.
+
+    Rows index the true class, columns the predicted class; predictions of
+    ``-1`` (no information) are dropped from the matrix but still count
+    against accuracy elsewhere.
+    """
+    true_labels = check_labels(true_labels)
+    predicted_labels = check_labels(predicted_labels, n_nodes=true_labels.shape[0])
+    mask = _evaluation_mask(true_labels, exclude_indices)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    evaluated_true = true_labels[mask]
+    evaluated_pred = predicted_labels[mask]
+    valid = evaluated_pred >= 0
+    np.add.at(matrix, (evaluated_true[valid], evaluated_pred[valid]), 1)
+    return matrix
+
+
+def compatibility_l2(estimated: np.ndarray, gold_standard: np.ndarray) -> float:
+    """Frobenius distance between an estimated and the gold-standard matrix."""
+    return frobenius_distance(estimated, gold_standard)

@@ -1,0 +1,107 @@
+"""Result reporting: render sweeps as tables and persist experiment records.
+
+The benchmark harness prints its tables directly; this module provides the
+same capabilities as a library API so downstream users (and the CLI) can turn
+:class:`~repro.eval.sweeps.SweepResult` and
+:class:`~repro.eval.experiment.ExperimentResult` objects into Markdown, CSV
+or JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.experiment import ExperimentResult
+from repro.eval.sweeps import SweepResult
+
+__all__ = [
+    "sweep_to_markdown",
+    "sweep_to_csv",
+    "experiment_to_dict",
+    "save_experiments_json",
+    "load_experiments_json",
+]
+
+
+def sweep_to_markdown(sweep: SweepResult, metric: str = "accuracy", digits: int = 4) -> str:
+    """Render a sweep as a GitHub-flavoured Markdown table.
+
+    Rows are the swept parameter values, columns the estimator names, cells
+    the mean of ``metric`` over repetitions.
+    """
+    header = [sweep.parameter_name] + list(sweep.methods)
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(["---"] * len(header)) + "|",
+    ]
+    for index, value in enumerate(sweep.parameter_values):
+        cells = [str(value)]
+        for method in sweep.methods:
+            series_value = sweep.series(method, metric)[index]
+            cells.append("" if np.isnan(series_value) else f"{series_value:.{digits}f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def sweep_to_csv(sweep: SweepResult, path, metric: str = "accuracy") -> Path:
+    """Write the per-run records of a sweep to a CSV file and return the path."""
+    path = Path(path)
+    rows = sweep.to_rows()
+    fieldnames = list(rows[0].keys()) if rows else ["method", sweep.parameter_name, metric]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable dictionary of one experiment record.
+
+    The estimator ``details`` are dropped (they may hold large arrays); the
+    compatibility matrix is kept as a nested list.
+    """
+    return {
+        "method": result.method,
+        "label_fraction": result.label_fraction,
+        "n_seeds": result.n_seeds,
+        "accuracy": result.accuracy,
+        "l2_to_gold": result.l2_to_gold,
+        "estimation_seconds": result.estimation_seconds,
+        "propagation_seconds": result.propagation_seconds,
+        "compatibility": np.asarray(result.compatibility).tolist(),
+    }
+
+
+def save_experiments_json(results, path) -> Path:
+    """Persist a list of :class:`ExperimentResult` objects as JSON."""
+    path = Path(path)
+    payload = [experiment_to_dict(result) for result in results]
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def load_experiments_json(path) -> list[ExperimentResult]:
+    """Load experiment records saved by :func:`save_experiments_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    results = []
+    for entry in payload:
+        results.append(
+            ExperimentResult(
+                method=entry["method"],
+                label_fraction=entry["label_fraction"],
+                accuracy=entry["accuracy"],
+                l2_to_gold=entry["l2_to_gold"],
+                estimation_seconds=entry["estimation_seconds"],
+                propagation_seconds=entry["propagation_seconds"],
+                compatibility=np.asarray(entry["compatibility"]),
+                n_seeds=entry["n_seeds"],
+                details={},
+            )
+        )
+    return results

@@ -1,0 +1,93 @@
+"""Seed-label sampling (the paper's evaluation protocol, Section 5).
+
+The experiments reveal a stratified random fraction ``f`` of the ground-truth
+labels — classes are sampled in proportion to their frequencies, mimicking
+users who happen to disclose an attribute — and the remaining nodes must be
+classified.  Decreasing ``f`` increases label sparsity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_labels
+
+__all__ = ["stratified_seed_indices", "stratified_seed_labels"]
+
+
+def stratified_seed_indices(
+    labels: np.ndarray,
+    fraction: float | None = None,
+    n_seeds: int | None = None,
+    rng=None,
+    min_per_class: int = 0,
+) -> np.ndarray:
+    """Sample seed node indices stratified by class.
+
+    Exactly one of ``fraction`` or ``n_seeds`` must be given.  Per class
+    ``c`` the number of seeds is ``round(share_c * total)`` (at least
+    ``min_per_class`` and at least 1 seed overall).  Returns sorted indices.
+    """
+    labels = check_labels(labels)
+    rng = ensure_rng(rng)
+    if (fraction is None) == (n_seeds is None):
+        raise ValueError("provide exactly one of fraction or n_seeds")
+    known = np.flatnonzero(labels >= 0)
+    if known.size == 0:
+        raise ValueError("no ground-truth labels to sample seeds from")
+    if fraction is not None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        total = max(1, int(round(fraction * known.size)))
+    else:
+        total = int(n_seeds)
+        if total < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+        total = min(total, known.size)
+
+    classes = np.unique(labels[known])
+    per_class_counts = {}
+    for class_index in classes:
+        share = np.sum(labels[known] == class_index) / known.size
+        per_class_counts[class_index] = int(round(share * total))
+    # Fix rounding drift while respecting the per-class availability.
+    drift = total - sum(per_class_counts.values())
+    ordered = sorted(classes, key=lambda c: -np.sum(labels[known] == c))
+    position = 0
+    while drift != 0 and ordered:
+        class_index = ordered[position % len(ordered)]
+        step = int(np.sign(drift))
+        if per_class_counts[class_index] + step >= 0:
+            per_class_counts[class_index] += step
+            drift -= step
+        position += 1
+
+    chosen = []
+    for class_index in classes:
+        members = np.flatnonzero(labels == class_index)
+        count = min(max(per_class_counts[class_index], min_per_class), members.size)
+        if count > 0:
+            chosen.append(rng.choice(members, size=count, replace=False))
+    if not chosen:
+        # Degenerate case (e.g. total smaller than number of classes): fall
+        # back to a plain random draw so at least one seed exists.
+        chosen.append(rng.choice(known, size=max(1, total), replace=False))
+    return np.sort(np.concatenate(chosen))
+
+
+def stratified_seed_labels(
+    labels: np.ndarray,
+    fraction: float | None = None,
+    n_seeds: int | None = None,
+    rng=None,
+    min_per_class: int = 0,
+) -> np.ndarray:
+    """Return a partial label vector with only the sampled seeds revealed."""
+    labels = check_labels(labels)
+    indices = stratified_seed_indices(
+        labels, fraction=fraction, n_seeds=n_seeds, rng=rng, min_per_class=min_per_class
+    )
+    partial = np.full(labels.shape[0], -1, dtype=np.int64)
+    partial[indices] = labels[indices]
+    return partial

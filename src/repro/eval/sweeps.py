@@ -1,0 +1,173 @@
+"""Parameter sweeps: the machinery behind every multi-point figure.
+
+A sweep runs :func:`repro.eval.experiment.run_experiment` for every
+combination of (estimator, parameter value, repetition) and aggregates the
+repetitions into means and standard deviations — one
+:class:`SweepResult` per figure series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.estimators.base import BaseEstimator
+from repro.eval.experiment import ExperimentResult, run_experiment
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SweepResult", "sweep_label_sparsity", "sweep_parameter"]
+
+
+@dataclass
+class SweepResult:
+    """Aggregated results of one sweep.
+
+    ``records`` keeps every individual run; ``mean_accuracy``, ``std_accuracy``
+    ``mean_l2`` and ``mean_estimation_seconds`` are dictionaries keyed by
+    ``(method, parameter_value)``.
+    """
+
+    parameter_name: str
+    parameter_values: list
+    methods: list[str]
+    records: list[ExperimentResult] = field(default_factory=list)
+
+    def _aggregate(self, attribute: str) -> dict:
+        buckets: dict[tuple, list[float]] = {}
+        for record in self.records:
+            key = (record.method, getattr(record, "parameter_value"))
+            buckets.setdefault(key, []).append(getattr(record, attribute))
+        return {key: float(np.mean(values)) for key, values in buckets.items()}
+
+    def _aggregate_std(self, attribute: str) -> dict:
+        buckets: dict[tuple, list[float]] = {}
+        for record in self.records:
+            key = (record.method, getattr(record, "parameter_value"))
+            buckets.setdefault(key, []).append(getattr(record, attribute))
+        return {key: float(np.std(values)) for key, values in buckets.items()}
+
+    @property
+    def mean_accuracy(self) -> dict:
+        """Mean macro accuracy keyed by ``(method, parameter_value)``."""
+        return self._aggregate("accuracy")
+
+    @property
+    def std_accuracy(self) -> dict:
+        """Standard deviation of the macro accuracy per key."""
+        return self._aggregate_std("accuracy")
+
+    @property
+    def mean_l2(self) -> dict:
+        """Mean L2 distance to the gold standard per key."""
+        return self._aggregate("l2_to_gold")
+
+    @property
+    def mean_estimation_seconds(self) -> dict:
+        """Mean estimation wall-clock time per key."""
+        return self._aggregate("estimation_seconds")
+
+    def series(self, method: str, metric: str = "accuracy") -> list[float]:
+        """Return the metric of ``method`` in parameter order (a plot line)."""
+        aggregated = self._aggregate(metric)
+        return [aggregated.get((method, value), float("nan")) for value in self.parameter_values]
+
+    def to_rows(self) -> list[dict]:
+        """Flat list of dictionaries, convenient for printing a table."""
+        return [
+            {
+                "method": record.method,
+                self.parameter_name: getattr(record, "parameter_value"),
+                "accuracy": record.accuracy,
+                "l2_to_gold": record.l2_to_gold,
+                "estimation_seconds": record.estimation_seconds,
+                "propagation_seconds": record.propagation_seconds,
+            }
+            for record in self.records
+        ]
+
+
+def _attach_parameter(record: ExperimentResult, value) -> ExperimentResult:
+    # ExperimentResult is a plain dataclass; annotate the swept value on it so
+    # the aggregation can group without a wrapper type per sweep kind.
+    record.parameter_value = value  # type: ignore[attr-defined]
+    return record
+
+
+def sweep_label_sparsity(
+    graph: Graph,
+    estimators: Mapping[str, BaseEstimator],
+    fractions: Sequence[float],
+    n_repetitions: int = 3,
+    seed=None,
+    **experiment_kwargs,
+) -> SweepResult:
+    """Accuracy (and friends) as a function of the label fraction ``f``.
+
+    This is the workhorse behind Fig. 3a, Fig. 6j, Fig. 7a-h: every estimator
+    is evaluated on the same seed sets (same RNG stream per repetition) so
+    the comparison is paired.
+    """
+    rng = ensure_rng(seed)
+    result = SweepResult(
+        parameter_name="label_fraction",
+        parameter_values=list(fractions),
+        methods=list(estimators.keys()),
+    )
+    for fraction in fractions:
+        for repetition in range(n_repetitions):
+            repetition_seed = int(rng.integers(0, 2**32 - 1))
+            for name, estimator in estimators.items():
+                record = run_experiment(
+                    graph,
+                    estimator,
+                    label_fraction=fraction,
+                    seed=repetition_seed,
+                    **experiment_kwargs,
+                )
+                record.method = name
+                result.records.append(_attach_parameter(record, fraction))
+    return result
+
+
+def sweep_parameter(
+    graph_factory: Callable[[object], Graph],
+    estimator_factory: Callable[[object], Mapping[str, BaseEstimator]],
+    parameter_name: str,
+    parameter_values: Sequence,
+    label_fraction: float,
+    n_repetitions: int = 3,
+    seed=None,
+    **experiment_kwargs,
+) -> SweepResult:
+    """Generic sweep over an arbitrary parameter (number of classes, degree, ...).
+
+    ``graph_factory(value)`` builds the graph for a parameter value and
+    ``estimator_factory(value)`` the estimators, so sweeps can vary anything
+    from ``k`` (Fig. 6g/6l) to the restart count (Fig. 6h).
+    """
+    rng = ensure_rng(seed)
+    first_estimators = estimator_factory(parameter_values[0])
+    result = SweepResult(
+        parameter_name=parameter_name,
+        parameter_values=list(parameter_values),
+        methods=list(first_estimators.keys()),
+    )
+    for value in parameter_values:
+        graph = graph_factory(value)
+        estimators = estimator_factory(value)
+        for repetition in range(n_repetitions):
+            repetition_seed = int(rng.integers(0, 2**32 - 1))
+            for name, estimator in estimators.items():
+                record = run_experiment(
+                    graph,
+                    estimator,
+                    label_fraction=label_fraction,
+                    seed=repetition_seed,
+                    **experiment_kwargs,
+                )
+                record.method = name
+                result.records.append(_attach_parameter(record, value))
+    return result

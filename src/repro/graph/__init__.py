@@ -1,0 +1,43 @@
+"""Graph substrate: containers, generators, degree models, I/O and datasets."""
+
+from repro.graph.degree import (
+    constant_degree_sequence,
+    powerlaw_degree_sequence,
+    uniform_degree_sequence,
+)
+from repro.graph.features import (
+    degree_statistics,
+    graph_summary,
+    homophily_index,
+    label_assortativity,
+)
+from repro.graph.generator import SyntheticGraphConfig, generate_graph, planted_graph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    load_edge_list,
+    load_graph_npz,
+    load_labels,
+    save_edge_list,
+    save_graph_npz,
+    save_labels,
+)
+
+__all__ = [
+    "Graph",
+    "SyntheticGraphConfig",
+    "constant_degree_sequence",
+    "degree_statistics",
+    "generate_graph",
+    "graph_summary",
+    "homophily_index",
+    "label_assortativity",
+    "load_edge_list",
+    "load_graph_npz",
+    "load_labels",
+    "planted_graph",
+    "powerlaw_degree_sequence",
+    "save_edge_list",
+    "save_graph_npz",
+    "save_labels",
+    "uniform_degree_sequence",
+]

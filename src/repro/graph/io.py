@@ -1,0 +1,124 @@
+"""Graph and label persistence.
+
+Two interchange formats are supported:
+
+* plain-text edge lists + label files, the format public graph datasets
+  (SNAP, LINQS) typically ship in, and
+* a compressed ``.npz`` bundle that stores the CSR adjacency arrays and the
+  label vector together, which round-trips exactly and loads fast.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_labels",
+    "load_labels",
+    "save_graph_npz",
+    "load_graph_npz",
+]
+
+
+def save_edge_list(graph: Graph, path) -> Path:
+    """Write the graph's undirected edges as ``u<TAB>v`` lines."""
+    path = Path(path)
+    edges = graph.edge_list()
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.n_nodes} edges={edges.shape[0]}\n")
+        for u, v in edges:
+            handle.write(f"{u}\t{v}\n")
+    return path
+
+
+def load_edge_list(path, n_nodes: int | None = None, labels=None, n_classes=None) -> Graph:
+    """Read an edge-list file (``#`` comment lines are skipped)."""
+    path = Path(path)
+    edges = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line in {path}: {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+    return Graph.from_edges(
+        edges, n_nodes=n_nodes, labels=labels, n_classes=n_classes, name=path.stem
+    )
+
+
+def save_labels(labels: np.ndarray, path) -> Path:
+    """Write one ``node<TAB>label`` line per node (-1 means unlabeled)."""
+    path = Path(path)
+    labels = np.asarray(labels, dtype=np.int64)
+    with path.open("w", encoding="utf-8") as handle:
+        for node, label in enumerate(labels):
+            handle.write(f"{node}\t{label}\n")
+    return path
+
+
+def load_labels(path, n_nodes: int | None = None) -> np.ndarray:
+    """Read a label file produced by :func:`save_labels`."""
+    path = Path(path)
+    pairs = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            node_str, label_str = line.split()[:2]
+            pairs.append((int(node_str), int(label_str)))
+    if not pairs:
+        return np.full(n_nodes or 0, -1, dtype=np.int64)
+    max_node = max(node for node, _ in pairs)
+    size = n_nodes if n_nodes is not None else max_node + 1
+    labels = np.full(size, -1, dtype=np.int64)
+    for node, label in pairs:
+        labels[node] = label
+    return labels
+
+
+def save_graph_npz(graph: Graph, path) -> Path:
+    """Persist adjacency + labels + metadata into a single ``.npz`` file."""
+    path = Path(path)
+    adjacency = graph.adjacency.tocsr()
+    labels = graph.labels if graph.labels is not None else np.full(graph.n_nodes, -1)
+    np.savez_compressed(
+        path,
+        data=adjacency.data,
+        indices=adjacency.indices,
+        indptr=adjacency.indptr,
+        shape=np.asarray(adjacency.shape),
+        labels=np.asarray(labels, dtype=np.int64),
+        n_classes=np.asarray(graph.n_classes if graph.n_classes is not None else -1),
+        name=np.asarray(graph.name),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_graph_npz(path) -> Graph:
+    """Load a graph saved with :func:`save_graph_npz`."""
+    with np.load(Path(path), allow_pickle=False) as bundle:
+        adjacency = sp.csr_matrix(
+            (bundle["data"], bundle["indices"], bundle["indptr"]),
+            shape=tuple(bundle["shape"]),
+        )
+        labels = bundle["labels"]
+        n_classes = int(bundle["n_classes"])
+        name = str(bundle["name"])
+    labels = None if np.all(labels < 0) else labels
+    return Graph(
+        adjacency=adjacency,
+        labels=labels,
+        n_classes=None if n_classes < 0 else n_classes,
+        name=name,
+    )

@@ -1,0 +1,23 @@
+"""Label propagation algorithms: LinBP, loopy BP, random walks and baselines."""
+
+from repro.propagation.bp import beliefpropagation
+from repro.propagation.cocitation import cocitation_classify
+from repro.propagation.convergence import linbp_scaling, spectral_radius
+from repro.propagation.harmonic import harmonic_functions
+from repro.propagation.lgc import local_global_consistency
+from repro.propagation.linbp import LinBPResult, linbp, propagate_and_label
+from repro.propagation.random_walk import multi_rank_walk, random_walk_with_restart
+
+__all__ = [
+    "LinBPResult",
+    "beliefpropagation",
+    "cocitation_classify",
+    "harmonic_functions",
+    "linbp",
+    "linbp_scaling",
+    "local_global_consistency",
+    "multi_rank_walk",
+    "propagate_and_label",
+    "random_walk_with_restart",
+    "spectral_radius",
+]

@@ -1,0 +1,74 @@
+"""Co-citation style classification from distance-2 neighbor labels.
+
+Bhagat et al. (Section 2.4 of the paper) classify nodes from the labels of
+nodes that share neighbors with them ("co-citation regularity"), which is as
+expressive as heterophily but needs a denser label set.  We implement the
+idea with the library's non-backtracking machinery: each node is described by
+the label counts of its distance-2 NB neighbors (excluding the trivial
+return-to-self paths), and is assigned the majority label among them, falling
+back to the distance-1 majority when no labeled 2-hop neighbor exists.
+
+Included as an additional baseline for the sparse-label experiments: like
+MCE, it works when labels are plentiful and degrades quickly as f shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nonbacktracking import factorized_nb_counts
+from repro.graph.graph import labels_from_one_hot, one_hot_labels
+from repro.utils.matrix import to_csr
+from repro.utils.validation import check_labels, check_positive
+
+__all__ = ["cocitation_classify"]
+
+
+def cocitation_classify(
+    adjacency,
+    seed_labels: np.ndarray,
+    n_classes: int,
+    max_distance: int = 2,
+) -> np.ndarray:
+    """Label nodes by the majority label among their distance-2 NB neighbors.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric adjacency matrix.
+    seed_labels:
+        Full-length label vector with ``-1`` for unlabeled nodes.
+    n_classes:
+        Number of classes.
+    max_distance:
+        Largest path length considered (2 reproduces co-citation; larger
+        values fall back through 3-, 4-, ... hop counts for isolated cases).
+
+    Returns
+    -------
+    A full label vector; seed nodes keep their labels, nodes with no labeled
+    neighbor within ``max_distance`` hops stay ``-1``.
+    """
+    check_positive(max_distance, "max_distance")
+    adjacency = to_csr(adjacency)
+    seed_labels = check_labels(seed_labels, n_nodes=adjacency.shape[0], n_classes=n_classes)
+    explicit = one_hot_labels(seed_labels, n_classes)
+    counts = factorized_nb_counts(adjacency, explicit, max_distance)
+
+    predicted = np.full(adjacency.shape[0], -1, dtype=np.int64)
+    # Prefer the co-citation (distance-2) signal, then fall back to shorter /
+    # longer distances for nodes that still have no information.
+    preference_order = [1] + [distance for distance in range(max_distance) if distance != 1]
+    for distance_index in preference_order:
+        if distance_index >= len(counts):
+            continue
+        undecided = predicted < 0
+        if not np.any(undecided):
+            break
+        distance_votes = counts[distance_index][undecided]
+        decided = labels_from_one_hot(distance_votes)
+        predicted[np.flatnonzero(undecided)] = decided
+
+    seeded = seed_labels >= 0
+    predicted[seeded] = seed_labels[seeded]
+    return predicted

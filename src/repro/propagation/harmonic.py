@@ -1,0 +1,48 @@
+"""Harmonic-function label propagation (Zhu, Ghahramani & Lafferty, 2003).
+
+The classic homophily SSL method the paper uses as its "standard random
+walk" comparison point (Fig. 6i): unlabeled beliefs iterate towards the
+degree-weighted average of their neighbors while seed nodes stay clamped to
+their one-hot labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import labels_from_one_hot, one_hot_labels
+from repro.utils.matrix import safe_reciprocal, degree_vector, to_csr
+from repro.utils.validation import check_labels, check_positive
+
+__all__ = ["harmonic_functions"]
+
+
+def harmonic_functions(
+    adjacency,
+    seed_labels: np.ndarray,
+    n_classes: int,
+    n_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """Classify unlabeled nodes with the harmonic-functions method.
+
+    ``seed_labels`` uses ``-1`` for unlabeled nodes.  Returns a full label
+    vector; seed nodes keep their given labels.
+    """
+    check_positive(n_iterations, "n_iterations")
+    adjacency = to_csr(adjacency)
+    seed_labels = check_labels(seed_labels, n_nodes=adjacency.shape[0], n_classes=n_classes)
+    clamped = np.asarray(one_hot_labels(seed_labels, n_classes).todense(), dtype=np.float64)
+    beliefs = clamped.copy()
+    seeded = seed_labels >= 0
+    inverse_degree = safe_reciprocal(degree_vector(adjacency))
+    for _ in range(n_iterations):
+        averaged = inverse_degree[:, None] * np.asarray(adjacency @ beliefs)
+        averaged[seeded] = clamped[seeded]
+        delta = float(np.max(np.abs(averaged - beliefs))) if beliefs.size else 0.0
+        beliefs = averaged
+        if delta < tolerance:
+            break
+    predicted = labels_from_one_hot(beliefs)
+    predicted[seeded] = seed_labels[seeded]
+    return predicted

@@ -1,0 +1,182 @@
+"""Linearized Belief Propagation (LinBP), the propagation engine (Section 2.3).
+
+The update equation (without echo cancellation, as the paper recommends) is
+
+    ``F <- X + W F H_s``
+
+where ``H_s`` is the (optionally centered) compatibility matrix scaled by
+``epsilon`` so the iteration converges (Eq. 2).  Theorem 3.1 shows the final
+*labels* do not depend on whether ``X`` and ``H`` are centered — the test
+suite exercises exactly that equivalence — but centering plus scaling keeps
+the iterates bounded, so it remains the numerically sensible default.
+
+The optional echo-cancellation term reproduces the original LinBP update of
+Gatterbauer et al. (2015) for ablation purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph, labels_from_one_hot, one_hot_labels
+from repro.propagation.convergence import linbp_scaling
+from repro.utils.matrix import center_columns, center_matrix, degree_vector, to_csr
+from repro.utils.validation import check_positive, check_square
+
+__all__ = ["LinBPResult", "linbp", "propagate_and_label"]
+
+
+@dataclass
+class LinBPResult:
+    """Outcome of a LinBP run.
+
+    Attributes
+    ----------
+    beliefs:
+        Final ``n x k`` belief matrix ``F``.
+    labels:
+        Arg-max labels per node (``-1`` where no information arrived).
+    n_iterations:
+        Number of update sweeps performed.
+    scaling:
+        The epsilon applied to the compatibility matrix.
+    converged:
+        True when the last sweep changed beliefs by less than the tolerance.
+    """
+
+    beliefs: np.ndarray
+    labels: np.ndarray
+    n_iterations: int
+    scaling: float
+    converged: bool
+
+
+def _as_dense(matrix) -> np.ndarray:
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64)
+
+
+def linbp(
+    adjacency,
+    prior_beliefs,
+    compatibility: np.ndarray,
+    n_iterations: int = 10,
+    safety: float = 0.5,
+    center: bool = True,
+    echo_cancellation: bool = False,
+    scaling: float | None = None,
+    tolerance: float = 1e-6,
+) -> LinBPResult:
+    """Run LinBP and return beliefs plus arg-max labels.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric sparse adjacency matrix ``W``.
+    prior_beliefs:
+        ``n x k`` explicit-belief matrix ``X`` (one-hot rows for seed nodes,
+        zero rows for unlabeled nodes).
+    compatibility:
+        ``k x k`` compatibility matrix ``H`` (doubly stochastic, or already a
+        residual matrix when ``center=False``).
+    n_iterations:
+        Number of synchronous update sweeps (paper uses 10).
+    safety:
+        Convergence safety factor ``s`` used to derive ``epsilon`` (Eq. 2).
+    center:
+        Center ``X`` and ``H`` around ``1/k`` before propagating (the
+        standard LinBP formulation).  Theorem 3.1 guarantees the labels match
+        the uncentered variant.
+    echo_cancellation:
+        Include the echo-cancellation correction term (ablation only).
+    scaling:
+        Explicit epsilon; overrides the automatic choice when provided.
+    """
+    check_positive(n_iterations, "n_iterations")
+    adjacency = to_csr(adjacency)
+    compatibility = check_square(compatibility, "compatibility")
+    explicit = _as_dense(prior_beliefs)
+    if explicit.shape[0] != adjacency.shape[0]:
+        raise ValueError(
+            f"prior beliefs have {explicit.shape[0]} rows for a graph with "
+            f"{adjacency.shape[0]} nodes"
+        )
+    if explicit.shape[1] != compatibility.shape[0]:
+        raise ValueError(
+            f"prior beliefs have {explicit.shape[1]} columns but the "
+            f"compatibility matrix is {compatibility.shape[0]}x{compatibility.shape[0]}"
+        )
+
+    if center:
+        priors = center_columns(explicit)
+        modulation = center_matrix(compatibility)
+    else:
+        priors = explicit
+        modulation = compatibility
+
+    if scaling is None:
+        centered_for_radius = center_matrix(compatibility) if not center else modulation
+        scaling = linbp_scaling(adjacency, centered_for_radius, safety=safety)
+    modulation = scaling * modulation
+
+    beliefs = priors.copy()
+    degrees = degree_vector(adjacency)
+    converged = False
+    iterations_run = 0
+    for iteration in range(n_iterations):
+        propagated = np.asarray(adjacency @ beliefs) @ modulation
+        if echo_cancellation:
+            # Echo cancellation subtracts each node's own (modulated) echo:
+            # F <- X + W F H - D F H^2 (linearized correction term).
+            propagated -= degrees[:, None] * (beliefs @ modulation @ modulation)
+        updated = priors + propagated
+        delta = float(np.max(np.abs(updated - beliefs))) if beliefs.size else 0.0
+        beliefs = updated
+        iterations_run = iteration + 1
+        if delta < tolerance:
+            converged = True
+            break
+
+    return LinBPResult(
+        beliefs=beliefs,
+        labels=labels_from_one_hot(beliefs),
+        n_iterations=iterations_run,
+        scaling=float(scaling),
+        converged=converged,
+    )
+
+
+def propagate_and_label(
+    graph: Graph,
+    seed_labels: np.ndarray,
+    compatibility: np.ndarray,
+    n_iterations: int = 10,
+    safety: float = 0.5,
+    **kwargs,
+) -> np.ndarray:
+    """Convenience wrapper: propagate from a partial labeling, return labels.
+
+    ``seed_labels`` is a full-length vector with ``-1`` for unlabeled nodes.
+    Seed nodes keep their given label in the output (they are never
+    re-classified), matching the evaluation protocol of the paper which only
+    scores the remaining nodes.
+    """
+    if graph.n_classes is None:
+        raise ValueError("graph must know its number of classes")
+    prior = one_hot_labels(seed_labels, graph.n_classes)
+    result = linbp(
+        graph.adjacency,
+        prior,
+        compatibility,
+        n_iterations=n_iterations,
+        safety=safety,
+        **kwargs,
+    )
+    predicted = result.labels.copy()
+    seeded = seed_labels >= 0
+    predicted[seeded] = seed_labels[seeded]
+    return predicted

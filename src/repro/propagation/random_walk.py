@@ -1,0 +1,93 @@
+"""Random-walk label propagation baselines (Section 2.4).
+
+MultiRankWalk runs one personalized-PageRank-style walk per class: the
+teleportation distribution of class ``c`` is uniform over the seed nodes of
+class ``c``, and after convergence every node takes the class whose walk
+assigns it the highest score.  These methods assume homophily — the paper
+uses them to demonstrate how badly homophily-only baselines fail on graphs
+with arbitrary compatibilities (Fig. 6i).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.graph import labels_from_one_hot
+from repro.utils.matrix import safe_reciprocal, to_csr
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["random_walk_with_restart", "multi_rank_walk"]
+
+
+def _column_normalized(adjacency) -> sp.csr_matrix:
+    adjacency = to_csr(adjacency)
+    column_sums = np.asarray(adjacency.sum(axis=0)).ravel()
+    scale = sp.diags(safe_reciprocal(column_sums), format="csr")
+    return (adjacency @ scale).tocsr()
+
+
+def random_walk_with_restart(
+    adjacency,
+    teleport: np.ndarray,
+    restart_probability: float = 0.15,
+    n_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Stationary distribution of a walk with restarts (Eq. 3).
+
+    ``f <- alpha_bar * u + alpha * W_col f`` where ``u`` is the normalized
+    teleportation vector and ``alpha = 1 - restart_probability``.
+    """
+    check_positive(n_iterations, "n_iterations")
+    check_probability(restart_probability, "restart_probability")
+    walk_matrix = _column_normalized(adjacency)
+    teleport = np.asarray(teleport, dtype=np.float64).ravel()
+    if teleport.shape[0] != walk_matrix.shape[0]:
+        raise ValueError("teleport vector length must equal the number of nodes")
+    total = teleport.sum()
+    if total <= 0:
+        raise ValueError("teleport vector must have positive mass")
+    teleport = teleport / total
+    alpha = 1.0 - restart_probability
+    scores = teleport.copy()
+    for _ in range(n_iterations):
+        updated = restart_probability * teleport + alpha * np.asarray(walk_matrix @ scores)
+        if np.max(np.abs(updated - scores)) < tolerance:
+            scores = updated
+            break
+        scores = updated
+    return scores
+
+
+def multi_rank_walk(
+    adjacency,
+    seed_labels: np.ndarray,
+    n_classes: int,
+    restart_probability: float = 0.15,
+    n_iterations: int = 100,
+) -> np.ndarray:
+    """MultiRankWalk: one random walk per class, arg-max classification.
+
+    ``seed_labels`` uses ``-1`` for unlabeled nodes.  Classes without any
+    seed node receive a zero score vector (they can never win the arg-max),
+    matching the behaviour of the original algorithm under extreme sparsity.
+    """
+    check_positive(n_classes, "n_classes")
+    seed_labels = np.asarray(seed_labels, dtype=np.int64)
+    n_nodes = to_csr(adjacency).shape[0]
+    scores = np.zeros((n_nodes, n_classes), dtype=np.float64)
+    for class_index in range(n_classes):
+        teleport = (seed_labels == class_index).astype(np.float64)
+        if teleport.sum() == 0:
+            continue
+        scores[:, class_index] = random_walk_with_restart(
+            adjacency,
+            teleport,
+            restart_probability=restart_probability,
+            n_iterations=n_iterations,
+        )
+    predicted = labels_from_one_hot(scores)
+    seeded = seed_labels >= 0
+    predicted[seeded] = seed_labels[seeded]
+    return predicted

@@ -1,0 +1,39 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library (graph generation, seed sampling,
+restart initialization) accepts either ``None``, an integer seed, or an
+existing :class:`numpy.random.Generator`.  This mirrors the scikit-learn
+``random_state`` convention the paper's released code follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` gives fresh OS entropy, an int gives a reproducible generator,
+    and an existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an integer, or a numpy Generator, got {type(seed)!r}"
+    )
+
+
+def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used by DCEr so each restart draws its initial point from an independent
+    stream, keeping runs reproducible regardless of restart count.
+    """
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,129 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import load_graph_npz
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    """A small synthetic graph written through the CLI itself."""
+    path = tmp_path / "graph.npz"
+    exit_code = main(
+        [
+            "generate",
+            "--nodes", "400",
+            "--edges", "3200",
+            "--classes", "3",
+            "--skew", "3",
+            "--seed", "1",
+            "-o", str(path),
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--nodes", "10", "--edges", "20", "-o", "x.npz"]
+        )
+        assert args.command == "generate"
+        assert args.nodes == 10
+        assert args.skew == 3.0
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate", "graph.npz"])
+        assert args.method == "DCEr"
+        assert args.fraction == 0.01
+        assert args.max_length == 5
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "graph.npz", "--method", "magic"])
+
+    def test_dataset_choices(self):
+        args = build_parser().parse_args(["dataset", "cora", "-o", "cora.npz"])
+        assert args.name == "cora"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "unknown", "-o", "x.npz"])
+
+
+class TestGenerateAndDataset:
+    def test_generate_writes_valid_graph(self, graph_file):
+        graph = load_graph_npz(graph_file)
+        assert graph.n_nodes == 400
+        assert graph.n_classes == 3
+        assert np.all(graph.labels >= 0)
+
+    def test_generate_homophily_flag(self, tmp_path, capsys):
+        path = tmp_path / "homo.npz"
+        assert main(
+            [
+                "generate", "--nodes", "300", "--edges", "1800",
+                "--homophily", "--skew", "5", "-o", str(path),
+            ]
+        ) == 0
+        from repro.graph.features import homophily_index
+
+        graph = load_graph_npz(path)
+        assert homophily_index(graph) > 0.5
+
+    def test_dataset_command(self, tmp_path):
+        path = tmp_path / "citeseer.npz"
+        assert main(["dataset", "citeseer", "--scale", "0.2", "-o", str(path)]) == 0
+        graph = load_graph_npz(path)
+        assert graph.n_classes == 6
+
+
+class TestSummaryEstimateExperiment:
+    def test_summary_prints_statistics(self, graph_file, capsys):
+        assert main(["summary", str(graph_file)]) == 0
+        output = capsys.readouterr().out
+        assert "n_nodes: 400" in output
+        assert "compatibility_skew" in output
+
+    def test_estimate_prints_matrix(self, graph_file, capsys):
+        assert main(
+            ["estimate", str(graph_file), "--method", "MCE", "--fraction", "0.2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "method: MCE" in output
+        assert "estimated compatibility matrix" in output
+
+    def test_estimate_dcer_with_options(self, graph_file, capsys):
+        assert main(
+            [
+                "estimate", str(graph_file),
+                "--method", "DCEr", "--fraction", "0.05",
+                "--restarts", "4", "--scaling", "5",
+            ]
+        ) == 0
+        assert "method: DCEr" in capsys.readouterr().out
+
+    def test_experiment_writes_json(self, graph_file, tmp_path, capsys):
+        json_path = tmp_path / "result.json"
+        assert main(
+            [
+                "experiment", str(graph_file),
+                "--method", "DCE", "--fraction", "0.1",
+                "--json", str(json_path),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "macro accuracy" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["method"] == "DCE"
+        assert 0.0 <= payload["accuracy"] <= 1.0
+        assert len(payload["compatibility"]) == 3

@@ -1,0 +1,179 @@
+"""Unit tests for the factorized graph statistics (Sections 4.3-4.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.statistics import (
+    gold_standard_compatibility,
+    neighbor_statistics,
+    normalize_statistics,
+    observed_statistics,
+    path_statistics,
+)
+from repro.graph.generator import generate_graph
+from repro.utils.matrix import is_doubly_stochastic, is_row_stochastic, is_symmetric
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    return generate_graph(1_000, 10_000, skew_compatibility(3, h=3.0), seed=17)
+
+
+class TestNeighborStatistics:
+    def test_counts_on_path_graph(self, path_graph):
+        # Path 0-1-2-3-4 with labels 0,1,0,1,0: every edge joins classes 0 and 1.
+        counts = neighbor_statistics(path_graph.adjacency, path_graph.label_matrix())
+        np.testing.assert_allclose(counts, [[0, 4], [4, 0]])
+
+    def test_counts_on_triangle(self, triangle_graph):
+        counts = neighbor_statistics(
+            triangle_graph.adjacency, triangle_graph.label_matrix()
+        )
+        # Edges: (0:a)-(1:b), (1:b)-(2:c), (2:c)-(0:a), (2:c)-(3:a)
+        expected = np.array([[0, 1, 2], [1, 0, 1], [2, 1, 0]])
+        np.testing.assert_allclose(counts, expected)
+
+    def test_symmetric_for_full_labeling(self, labeled_graph):
+        counts = neighbor_statistics(
+            labeled_graph.adjacency, labeled_graph.label_matrix()
+        )
+        assert is_symmetric(counts)
+
+    def test_total_equals_twice_edges(self, labeled_graph):
+        counts = neighbor_statistics(
+            labeled_graph.adjacency, labeled_graph.label_matrix()
+        )
+        assert counts.sum() == pytest.approx(2 * labeled_graph.n_edges)
+
+    def test_partial_labels_count_only_labeled_pairs(self, path_graph):
+        partial = path_graph.partial_label_matrix(np.array([0, 1]))
+        counts = neighbor_statistics(path_graph.adjacency, partial)
+        np.testing.assert_allclose(counts, [[0, 1], [1, 0]])
+
+    def test_no_labeled_neighbors_gives_zero(self, path_graph):
+        partial = path_graph.partial_label_matrix(np.array([0, 4]))
+        counts = neighbor_statistics(path_graph.adjacency, partial)
+        np.testing.assert_allclose(counts, np.zeros((2, 2)))
+
+
+class TestNormalizeStatistics:
+    def test_variant1_row_stochastic(self):
+        counts = np.array([[4.0, 2.0], [2.0, 6.0]])
+        assert is_row_stochastic(normalize_statistics(counts, variant=1))
+
+    def test_variant2_symmetric(self):
+        counts = np.array([[4.0, 2.0], [2.0, 6.0]])
+        assert is_symmetric(normalize_statistics(counts, variant=2))
+
+    def test_variant3_mean(self):
+        counts = np.array([[4.0, 2.0], [2.0, 6.0]])
+        assert normalize_statistics(counts, variant=3).mean() == pytest.approx(0.5)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            normalize_statistics(np.eye(2), variant=4)
+
+    def test_variants_agree_on_fully_balanced_graph(self):
+        # On a fully labeled, class-balanced, constant-row-sum count matrix,
+        # all three normalizations recover the same matrix (Section 4.3).
+        counts = 100 * np.array([[0.2, 0.6, 0.2], [0.6, 0.2, 0.2], [0.2, 0.2, 0.6]])
+        v1 = normalize_statistics(counts, variant=1)
+        v2 = normalize_statistics(counts, variant=2)
+        v3 = normalize_statistics(counts, variant=3)
+        np.testing.assert_allclose(v1, v2, atol=1e-12)
+        np.testing.assert_allclose(v1, v3, atol=1e-12)
+
+
+class TestPathStatistics:
+    def test_shapes(self, labeled_graph):
+        stats = path_statistics(labeled_graph.adjacency, labeled_graph.label_matrix(), 4)
+        assert len(stats) == 4
+        assert all(matrix.shape == (3, 3) for matrix in stats)
+
+    def test_length_one_equals_neighbor_statistics(self, labeled_graph):
+        stats = path_statistics(labeled_graph.adjacency, labeled_graph.label_matrix(), 1)
+        counts = neighbor_statistics(
+            labeled_graph.adjacency, labeled_graph.label_matrix()
+        )
+        np.testing.assert_allclose(stats[0], counts)
+
+    def test_nb_diagonal_smaller_than_plain(self, labeled_graph):
+        labels_matrix = labeled_graph.label_matrix()
+        nb = path_statistics(
+            labeled_graph.adjacency, labels_matrix, 2, non_backtracking=True
+        )[1]
+        plain = path_statistics(
+            labeled_graph.adjacency, labels_matrix, 2, non_backtracking=False
+        )[1]
+        assert nb.trace() < plain.trace()
+        # Off-diagonals unchanged between NB and plain at length 2 only when
+        # the removed backtracking mass sits entirely on the diagonal of the
+        # node-level matrix; at class level the same holds.
+        np.testing.assert_allclose(
+            nb.sum() + labeled_graph.degrees.sum(), plain.sum(), rtol=1e-9
+        )
+
+
+class TestObservedStatistics:
+    def test_normalized_statistics_near_planted_powers(self, labeled_graph):
+        # Theorem 4.1 / Example 4.2: on a fully labeled graph the normalized
+        # NB statistics approximate the powers of the planted matrix.
+        planted = skew_compatibility(3, h=3.0)
+        observed = observed_statistics(
+            labeled_graph.adjacency, labeled_graph.label_matrix(), max_length=3
+        )
+        for length, statistic in enumerate(observed, start=1):
+            np.testing.assert_allclose(
+                statistic, np.linalg.matrix_power(planted, length), atol=0.06
+            )
+
+    def test_plain_paths_overestimate_diagonal(self, labeled_graph):
+        # The plain-path statistics are biased towards the diagonal (Fig. 5a).
+        planted2 = np.linalg.matrix_power(skew_compatibility(3, h=3.0), 2)
+        plain = observed_statistics(
+            labeled_graph.adjacency,
+            labeled_graph.label_matrix(),
+            max_length=2,
+            non_backtracking=False,
+        )[1]
+        nb = observed_statistics(
+            labeled_graph.adjacency,
+            labeled_graph.label_matrix(),
+            max_length=2,
+            non_backtracking=True,
+        )[1]
+        plain_diag_error = np.mean(np.diag(plain) - np.diag(planted2))
+        nb_diag_error = abs(np.mean(np.diag(nb) - np.diag(planted2)))
+        assert plain_diag_error > 0.01
+        assert nb_diag_error < plain_diag_error
+
+    def test_variant_passthrough(self, labeled_graph):
+        observed = observed_statistics(
+            labeled_graph.adjacency, labeled_graph.label_matrix(), max_length=2, variant=2
+        )
+        assert all(is_symmetric(matrix, tol=1e-8) for matrix in observed)
+
+
+class TestGoldStandard:
+    def test_recovers_planted_matrix(self, labeled_graph):
+        gold = gold_standard_compatibility(labeled_graph)
+        np.testing.assert_allclose(gold, skew_compatibility(3, h=3.0), atol=0.05)
+
+    def test_row_stochastic(self, labeled_graph):
+        assert is_row_stochastic(gold_standard_compatibility(labeled_graph))
+
+    def test_projection_option(self, imbalanced_graph):
+        projected = gold_standard_compatibility(
+            imbalanced_graph, project_doubly_stochastic=True
+        )
+        assert is_doubly_stochastic(projected, tol=1e-6)
+
+    def test_requires_labels(self):
+        from repro.graph.graph import Graph
+
+        unlabeled = Graph.from_edges([(0, 1)], n_nodes=2)
+        with pytest.raises(ValueError):
+            gold_standard_compatibility(unlabeled)

@@ -1,0 +1,152 @@
+"""Unit tests for the experiment runner, sweeps and timing harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.estimators import DCE, GoldStandard, MCE
+from repro.eval.experiment import ExperimentResult, run_experiment
+from repro.eval.sweeps import sweep_label_sparsity, sweep_parameter
+from repro.eval.timing import time_estimation, time_propagation
+from repro.graph.generator import generate_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_graph(1_200, 9_600, skew_compatibility(3, h=3.0), seed=8)
+
+
+class TestRunExperiment:
+    def test_returns_result(self, graph):
+        result = run_experiment(graph, GoldStandard(), label_fraction=0.05, seed=0)
+        assert isinstance(result, ExperimentResult)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.method == "GS"
+        assert result.n_seeds > 0
+
+    def test_gold_standard_has_zero_l2(self, graph):
+        result = run_experiment(graph, GoldStandard(), label_fraction=0.05, seed=0)
+        assert result.l2_to_gold == pytest.approx(0.0, abs=1e-10)
+
+    def test_same_seed_same_result(self, graph):
+        first = run_experiment(graph, MCE(), label_fraction=0.05, seed=3)
+        second = run_experiment(graph, MCE(), label_fraction=0.05, seed=3)
+        assert first.accuracy == second.accuracy
+        np.testing.assert_allclose(first.compatibility, second.compatibility)
+
+    def test_explicit_seed_indices(self, graph):
+        indices = np.arange(0, 120)
+        result = run_experiment(graph, MCE(), seed_indices=indices)
+        assert result.n_seeds == 120
+        assert result.label_fraction == pytest.approx(0.1)
+
+    def test_n_seeds_mode(self, graph):
+        result = run_experiment(graph, MCE(), n_seeds=60, seed=1)
+        assert result.n_seeds == 60
+
+    def test_beats_random_baseline(self, graph):
+        result = run_experiment(graph, DCE(), label_fraction=0.05, seed=2)
+        assert result.accuracy > 0.45
+
+    def test_precomputed_gold_standard(self, graph):
+        gold = skew_compatibility(3, h=3.0)
+        result = run_experiment(
+            graph, GoldStandard(), label_fraction=0.05, seed=0, gold_standard=gold
+        )
+        assert result.l2_to_gold < 0.06
+
+    def test_timings_positive(self, graph):
+        result = run_experiment(graph, DCE(), label_fraction=0.05, seed=0)
+        assert result.estimation_seconds > 0
+        assert result.propagation_seconds > 0
+
+
+class TestSweeps:
+    def test_label_sparsity_sweep_structure(self, graph):
+        result = sweep_label_sparsity(
+            graph,
+            {"GS": GoldStandard(), "MCE": MCE()},
+            fractions=[0.01, 0.1],
+            n_repetitions=2,
+            seed=0,
+        )
+        assert len(result.records) == 2 * 2 * 2
+        assert set(result.methods) == {"GS", "MCE"}
+        assert set(result.mean_accuracy) == {
+            ("GS", 0.01),
+            ("GS", 0.1),
+            ("MCE", 0.01),
+            ("MCE", 0.1),
+        }
+
+    def test_series_ordering(self, graph):
+        result = sweep_label_sparsity(
+            graph,
+            {"GS": GoldStandard()},
+            fractions=[0.02, 0.2],
+            n_repetitions=1,
+            seed=1,
+        )
+        series = result.series("GS", metric="accuracy")
+        assert len(series) == 2
+        # More labels should not hurt accuracy materially.
+        assert series[1] >= series[0] - 0.05
+
+    def test_rows_export(self, graph):
+        result = sweep_label_sparsity(
+            graph, {"MCE": MCE()}, fractions=[0.05], n_repetitions=1, seed=2
+        )
+        rows = result.to_rows()
+        assert len(rows) == 1
+        assert rows[0]["method"] == "MCE"
+        assert "accuracy" in rows[0]
+
+    def test_paired_seeds_across_methods(self, graph):
+        result = sweep_label_sparsity(
+            graph,
+            {"A": GoldStandard(), "B": GoldStandard()},
+            fractions=[0.05],
+            n_repetitions=1,
+            seed=3,
+        )
+        records = result.records
+        assert records[0].n_seeds == records[1].n_seeds
+        assert records[0].accuracy == records[1].accuracy
+
+    def test_generic_parameter_sweep(self):
+        def graph_factory(k):
+            return generate_graph(400, 2_400, skew_compatibility(k, h=3.0), seed=k)
+
+        def estimator_factory(k):
+            return {"MCE": MCE()}
+
+        result = sweep_parameter(
+            graph_factory,
+            estimator_factory,
+            parameter_name="n_classes",
+            parameter_values=[2, 3],
+            label_fraction=0.1,
+            n_repetitions=1,
+            seed=0,
+        )
+        assert result.parameter_name == "n_classes"
+        assert len(result.records) == 2
+        assert set(key[1] for key in result.mean_accuracy) == {2, 3}
+
+
+class TestTiming:
+    def test_time_estimation_record(self, graph):
+        record = time_estimation(graph, MCE(), label_fraction=0.05, seed=0)
+        assert record.operation == "MCE"
+        assert record.seconds > 0
+        assert record.n_nodes == graph.n_nodes
+
+    def test_time_propagation_record(self, graph):
+        record = time_propagation(
+            graph, skew_compatibility(3, h=3.0), label_fraction=0.05, seed=0
+        )
+        assert record.operation == "propagation"
+        assert record.seconds > 0
+        assert record.n_edges == graph.n_edges

@@ -1,0 +1,94 @@
+"""Unit tests for result reporting (Markdown/CSV/JSON export)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.estimators import GoldStandard, MCE
+from repro.eval.experiment import run_experiment
+from repro.eval.reporting import (
+    experiment_to_dict,
+    load_experiments_json,
+    save_experiments_json,
+    sweep_to_csv,
+    sweep_to_markdown,
+)
+from repro.eval.sweeps import sweep_label_sparsity
+from repro.graph.generator import generate_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_graph(600, 4_800, skew_compatibility(3, h=3.0), seed=44)
+
+
+@pytest.fixture(scope="module")
+def sweep(graph):
+    return sweep_label_sparsity(
+        graph,
+        {"GS": GoldStandard(), "MCE": MCE()},
+        fractions=[0.05, 0.2],
+        n_repetitions=1,
+        seed=0,
+    )
+
+
+class TestMarkdown:
+    def test_structure(self, sweep):
+        markdown = sweep_to_markdown(sweep)
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| label_fraction | GS | MCE |")
+        assert lines[1].startswith("|---")
+        assert len(lines) == 2 + 2  # header + separator + one row per fraction
+
+    def test_values_match_series(self, sweep):
+        markdown = sweep_to_markdown(sweep, metric="accuracy", digits=3)
+        first_gs = sweep.series("GS", "accuracy")[0]
+        assert f"{first_gs:.3f}" in markdown
+
+    def test_other_metric(self, sweep):
+        markdown = sweep_to_markdown(sweep, metric="l2_to_gold")
+        assert "| 0.05 |" in markdown
+
+
+class TestCsv:
+    def test_round_trip(self, sweep, tmp_path):
+        path = sweep_to_csv(sweep, tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(sweep.records)
+        assert {"method", "accuracy", "label_fraction"} <= set(rows[0].keys())
+
+    def test_values_numeric(self, sweep, tmp_path):
+        path = sweep_to_csv(sweep, tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        for row in rows:
+            assert 0.0 <= float(row["accuracy"]) <= 1.0
+
+
+class TestJson:
+    def test_experiment_to_dict_keys(self, graph):
+        result = run_experiment(graph, MCE(), label_fraction=0.1, seed=1)
+        payload = experiment_to_dict(result)
+        assert payload["method"] == "MCE"
+        assert isinstance(payload["compatibility"], list)
+        json.dumps(payload)  # must be serializable
+
+    def test_save_and_load_round_trip(self, graph, tmp_path):
+        results = [
+            run_experiment(graph, MCE(), label_fraction=0.1, seed=2),
+            run_experiment(graph, GoldStandard(), label_fraction=0.1, seed=2),
+        ]
+        path = save_experiments_json(results, tmp_path / "results.json")
+        loaded = load_experiments_json(path)
+        assert len(loaded) == 2
+        assert loaded[0].method == "MCE"
+        assert loaded[1].method == "GS"
+        np.testing.assert_allclose(loaded[0].compatibility, results[0].compatibility)
+        assert loaded[0].accuracy == pytest.approx(results[0].accuracy)

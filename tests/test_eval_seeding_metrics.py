@@ -1,0 +1,147 @@
+"""Unit tests for seed sampling and evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import accuracy, compatibility_l2, confusion_matrix, macro_accuracy
+from repro.eval.seeding import stratified_seed_indices, stratified_seed_labels
+
+
+class TestStratifiedSeeding:
+    def test_fraction_gives_expected_count(self):
+        labels = np.repeat([0, 1, 2], 100)
+        seeds = stratified_seed_indices(labels, fraction=0.1, rng=0)
+        assert seeds.shape[0] == 30
+
+    def test_stratification_proportional(self):
+        labels = np.repeat([0, 1], [300, 100])
+        seeds = stratified_seed_indices(labels, fraction=0.1, rng=1)
+        seed_labels = labels[seeds]
+        assert np.sum(seed_labels == 0) == 30
+        assert np.sum(seed_labels == 1) == 10
+
+    def test_n_seeds_mode(self):
+        labels = np.repeat([0, 1, 2], 50)
+        seeds = stratified_seed_indices(labels, n_seeds=15, rng=2)
+        assert seeds.shape[0] == 15
+
+    def test_minimum_one_seed(self):
+        labels = np.repeat([0, 1], 500)
+        seeds = stratified_seed_indices(labels, fraction=0.0005, rng=3)
+        assert seeds.shape[0] >= 1
+
+    def test_min_per_class(self):
+        labels = np.repeat([0, 1, 2], 100)
+        seeds = stratified_seed_indices(labels, n_seeds=3, rng=4, min_per_class=1)
+        assert set(labels[seeds]) == {0, 1, 2}
+
+    def test_indices_sorted_and_unique(self):
+        labels = np.repeat([0, 1], 200)
+        seeds = stratified_seed_indices(labels, fraction=0.2, rng=5)
+        assert np.all(np.diff(seeds) > 0)
+
+    def test_requires_exactly_one_mode(self):
+        labels = np.array([0, 1])
+        with pytest.raises(ValueError):
+            stratified_seed_indices(labels)
+        with pytest.raises(ValueError):
+            stratified_seed_indices(labels, fraction=0.5, n_seeds=1)
+
+    def test_rejects_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_seed_indices(np.array([0, 1]), fraction=1.5)
+
+    def test_rejects_all_unlabeled(self):
+        with pytest.raises(ValueError, match="no ground-truth"):
+            stratified_seed_indices(np.array([-1, -1]), fraction=0.5)
+
+    def test_reproducible_with_seed(self):
+        labels = np.repeat([0, 1, 2], 100)
+        first = stratified_seed_indices(labels, fraction=0.05, rng=7)
+        second = stratified_seed_indices(labels, fraction=0.05, rng=7)
+        np.testing.assert_array_equal(first, second)
+
+    def test_seed_labels_vector(self):
+        labels = np.repeat([0, 1], 50)
+        partial = stratified_seed_labels(labels, fraction=0.1, rng=8)
+        revealed = partial >= 0
+        assert revealed.sum() == 10
+        np.testing.assert_array_equal(partial[revealed], labels[revealed])
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        labels = np.array([0, 1, 2])
+        assert accuracy(labels, labels) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 1])) == 0.5
+
+    def test_excludes_seeds(self):
+        true = np.array([0, 1, 1])
+        predicted = np.array([0, 0, 1])
+        assert accuracy(true, predicted, exclude_indices=np.array([1])) == 1.0
+
+    def test_ignores_unknown_ground_truth(self):
+        true = np.array([0, -1, 1])
+        predicted = np.array([0, 1, 1])
+        assert accuracy(true, predicted) == 1.0
+
+    def test_empty_evaluation_set(self):
+        assert accuracy(np.array([0]), np.array([0]), exclude_indices=np.array([0])) == 0.0
+
+
+class TestMacroAccuracy:
+    def test_equal_to_micro_when_balanced(self):
+        true = np.array([0, 0, 1, 1])
+        predicted = np.array([0, 1, 1, 1])
+        assert macro_accuracy(true, predicted, 2) == pytest.approx(0.75)
+
+    def test_accounts_for_imbalance(self):
+        # 9 of 10 nodes are class 0; predicting all-0 gives micro 0.9 but macro 0.5.
+        true = np.array([0] * 9 + [1])
+        predicted = np.zeros(10, dtype=int)
+        assert accuracy(true, predicted) == pytest.approx(0.9)
+        assert macro_accuracy(true, predicted, 2) == pytest.approx(0.5)
+
+    def test_missing_class_skipped(self):
+        true = np.array([0, 0])
+        predicted = np.array([0, 0])
+        assert macro_accuracy(true, predicted, 3) == 1.0
+
+    def test_unlabeled_prediction_counts_as_wrong(self):
+        true = np.array([0, 1])
+        predicted = np.array([0, -1])
+        assert macro_accuracy(true, predicted, 2) == pytest.approx(0.5)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        true = np.array([0, 1, 2, 1])
+        matrix = confusion_matrix(true, true, 3)
+        np.testing.assert_array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal(self):
+        true = np.array([0, 0])
+        predicted = np.array([1, 0])
+        matrix = confusion_matrix(true, predicted, 2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 0]])
+
+    def test_unknown_predictions_dropped(self):
+        true = np.array([0, 1])
+        predicted = np.array([-1, 1])
+        matrix = confusion_matrix(true, predicted, 2)
+        assert matrix.sum() == 1
+
+
+class TestCompatibilityL2:
+    def test_zero_for_identical(self):
+        from repro.core.compatibility import skew_compatibility
+
+        matrix = skew_compatibility(3, h=3.0)
+        assert compatibility_l2(matrix, matrix) == 0.0
+
+    def test_known_value(self):
+        assert compatibility_l2(np.zeros((2, 2)), np.eye(2)) == pytest.approx(np.sqrt(2))

@@ -1,0 +1,125 @@
+"""Unit tests for the real-world dataset stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.statistics import gold_standard_compatibility
+from repro.graph.datasets import (
+    DATASET_REGISTRY,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+)
+from repro.utils.matrix import is_doubly_stochastic, is_symmetric
+
+
+class TestRegistry:
+    def test_eight_datasets(self):
+        assert len(dataset_names()) == 8
+
+    def test_paper_order(self):
+        assert dataset_names()[:3] == ["cora", "citeseer", "hep-th"]
+
+    def test_lookup_case_insensitive(self):
+        assert dataset_spec("Cora").name == "cora"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_spec("imdb")
+
+    def test_published_sizes_match_figure8(self):
+        assert dataset_spec("cora").n_nodes == 2_708
+        assert dataset_spec("cora").n_edges == 10_858
+        assert dataset_spec("pokec-gender").n_nodes == 1_632_803
+        assert dataset_spec("flickr").n_edges == 18_147_504
+
+    def test_class_counts_match_figure8(self):
+        expected = {
+            "cora": 7,
+            "citeseer": 6,
+            "hep-th": 11,
+            "movielens": 3,
+            "enron": 4,
+            "prop-37": 3,
+            "pokec-gender": 2,
+            "flickr": 3,
+        }
+        for name, k in expected.items():
+            assert dataset_spec(name).n_classes == k
+
+    def test_homophily_flags(self):
+        assert dataset_spec("cora").homophilous
+        assert dataset_spec("citeseer").homophilous
+        assert dataset_spec("hep-th").homophilous
+        assert not dataset_spec("movielens").homophilous
+        assert not dataset_spec("pokec-gender").homophilous
+
+    def test_average_degree_close_to_paper(self):
+        # Fig. 8 reports d ~ 8.0 for Cora and ~ 37.5 for Pokec.
+        assert dataset_spec("cora").average_degree == pytest.approx(8.0, abs=0.1)
+        assert dataset_spec("pokec-gender").average_degree == pytest.approx(37.5, abs=0.1)
+
+    def test_compatibility_shapes(self):
+        for spec in DATASET_REGISTRY.values():
+            assert spec.compatibility.shape == (spec.n_classes, spec.n_classes)
+
+    def test_priors_sum_to_one(self):
+        for spec in DATASET_REGISTRY.values():
+            assert spec.class_prior.sum() == pytest.approx(1.0, abs=0.02)
+
+
+class TestPlantedCompatibility:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_planted_matrix_is_valid(self, name):
+        planted = dataset_spec(name).planted_compatibility()
+        assert is_symmetric(planted, tol=1e-6)
+        assert is_doubly_stochastic(planted, tol=1e-4)
+        assert planted.min() >= 0
+
+    def test_movielens_keeps_heterophily_structure(self):
+        planted = dataset_spec("movielens").planted_compatibility()
+        # Off-diagonal affinities dominate the diagonal, as in Fig. 13.
+        assert planted[0, 1] > planted[0, 0]
+        assert planted[1, 2] > planted[1, 1]
+
+    def test_cora_keeps_homophily_structure(self):
+        planted = dataset_spec("cora").planted_compatibility()
+        assert np.all(np.diag(planted) > 0.3)
+
+
+class TestLoadDataset:
+    def test_citeseer_full_scale(self):
+        graph = load_dataset("citeseer", scale=1.0, seed=0)
+        assert graph.n_nodes == 3_312
+        assert graph.n_classes == 6
+
+    def test_scaled_pokec_is_small(self):
+        graph = load_dataset("pokec-gender", seed=0)
+        spec = dataset_spec("pokec-gender")
+        assert graph.n_nodes == pytest.approx(spec.n_nodes * spec.default_scale, rel=0.01)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("cora", scale=1.5)
+
+    def test_reproducible(self):
+        first = load_dataset("movielens", scale=0.02, seed=3)
+        second = load_dataset("movielens", scale=0.02, seed=3)
+        assert (first.adjacency != second.adjacency).nnz == 0
+
+    def test_compatibility_structure_survives_generation(self):
+        graph = load_dataset("prop-37", scale=0.02, seed=1)
+        measured = gold_standard_compatibility(graph)
+        planted = dataset_spec("prop-37").planted_compatibility()
+        # The heterophilous structure (tiny diagonal for class 2) survives.
+        assert measured[2, 2] < 0.2
+        assert np.max(np.abs(measured - planted)) < 0.15
+
+    def test_class_prior_respected(self):
+        graph = load_dataset("enron", scale=0.05, seed=2)
+        spec = dataset_spec("enron")
+        np.testing.assert_allclose(
+            graph.class_prior(), spec.class_prior / spec.class_prior.sum(), atol=0.02
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for degree-sequence families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import (
+    DEGREE_FAMILIES,
+    constant_degree_sequence,
+    match_total_degree,
+    powerlaw_degree_sequence,
+    uniform_degree_sequence,
+)
+
+
+class TestMatchTotalDegree:
+    def test_exact_total(self):
+        degrees = match_total_degree(np.array([3, 3, 3, 3]), 10, rng=0)
+        assert degrees.sum() == 10
+
+    def test_never_below_one(self):
+        degrees = match_total_degree(np.array([1, 1, 1, 10]), 6, rng=0)
+        assert degrees.min() >= 1
+        assert degrees.sum() == 6
+
+    def test_no_change_when_already_matching(self):
+        original = np.array([2, 2, 2])
+        degrees = match_total_degree(original, 6, rng=0)
+        np.testing.assert_array_equal(degrees, original)
+
+
+@pytest.mark.parametrize("family_name", sorted(DEGREE_FAMILIES))
+class TestAllFamilies:
+    def test_sum_is_twice_edges(self, family_name):
+        factory = DEGREE_FAMILIES[family_name]
+        degrees = factory(100, 500, rng=1)
+        assert degrees.sum() == 1000
+
+    def test_all_positive(self, family_name):
+        factory = DEGREE_FAMILIES[family_name]
+        degrees = factory(50, 200, rng=2)
+        assert degrees.min() >= 1
+
+    def test_length(self, family_name):
+        factory = DEGREE_FAMILIES[family_name]
+        assert factory(64, 256, rng=3).shape == (64,)
+
+    def test_reproducible(self, family_name):
+        factory = DEGREE_FAMILIES[family_name]
+        np.testing.assert_array_equal(factory(40, 120, rng=7), factory(40, 120, rng=7))
+
+
+class TestConstant:
+    def test_nearly_constant(self):
+        degrees = constant_degree_sequence(100, 1000, rng=0)
+        assert degrees.max() - degrees.min() <= 1
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            constant_degree_sequence(0, 10)
+
+
+class TestUniform:
+    def test_spread_bounds(self):
+        degrees = uniform_degree_sequence(200, 2000, spread=0.5, rng=0)
+        mean = 2 * 2000 / 200
+        assert degrees.min() >= 1
+        assert degrees.max() <= mean * 1.5 + 2
+
+    def test_invalid_spread(self):
+        with pytest.raises(ValueError):
+            uniform_degree_sequence(10, 20, spread=1.5)
+
+
+class TestPowerlaw:
+    def test_skewed_distribution(self):
+        degrees = powerlaw_degree_sequence(500, 5000, exponent=1.0, rng=0)
+        # A power-law sequence should have a max well above the mean.
+        assert degrees.max() > 2 * degrees.mean()
+
+    def test_mild_exponent_from_paper(self):
+        degrees = powerlaw_degree_sequence(300, 3000, exponent=0.3, rng=1)
+        assert degrees.sum() == 6000
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 20, exponent=-1.0)

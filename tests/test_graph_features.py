@@ -1,0 +1,116 @@
+"""Unit tests for graph feature diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import homophily_compatibility, skew_compatibility
+from repro.graph.features import (
+    compatibility_skew,
+    degree_statistics,
+    graph_summary,
+    homophily_index,
+    label_assortativity,
+)
+from repro.graph.generator import generate_graph
+from repro.graph.graph import Graph
+
+
+class TestDegreeStatistics:
+    def test_star_graph(self, star_graph):
+        stats = degree_statistics(star_graph)
+        assert stats.maximum == 5
+        assert stats.minimum == 1
+        assert stats.mean == pytest.approx(10 / 6)
+
+    def test_empty_graph(self):
+        graph = Graph.from_edges([], n_nodes=0)
+        stats = degree_statistics(graph)
+        assert stats.mean == 0.0
+        assert stats.gini == 0.0
+
+    def test_gini_zero_for_regular_graph(self):
+        # A cycle graph has identical degrees, hence zero inequality.
+        edges = [(i, (i + 1) % 10) for i in range(10)]
+        graph = Graph.from_edges(edges, n_nodes=10)
+        assert degree_statistics(graph).gini == pytest.approx(0.0, abs=1e-12)
+
+    def test_powerlaw_graph_is_heavy_tailed(self):
+        graph = generate_graph(
+            2_000, 20_000, skew_compatibility(3), distribution="powerlaw", seed=1
+        )
+        uniform_graph = generate_graph(
+            2_000, 20_000, skew_compatibility(3), distribution="constant", seed=1
+        )
+        assert degree_statistics(graph).gini > degree_statistics(uniform_graph).gini
+
+
+class TestAssortativityAndHomophily:
+    def test_homophilous_graph_positive_assortativity(self, homophily_graph):
+        assert label_assortativity(homophily_graph) > 0.2
+
+    def test_heterophilous_graph_negative_assortativity(self):
+        # Two paired classes (pure disassortative mixing) give a clearly
+        # negative coefficient.  (The 3-class paired pattern used elsewhere
+        # balances the heterophilous pair against the homophilous third class
+        # and lands near zero, so it is not a good probe here.)
+        graph = generate_graph(1_000, 8_000, skew_compatibility(2, h=8.0), seed=6)
+        assert label_assortativity(graph) < -0.3
+
+    def test_three_class_paired_pattern_near_zero(self, strong_heterophily_graph):
+        # Heterophily between classes 0/1 cancels class 2's homophily.
+        assert abs(label_assortativity(strong_heterophily_graph)) < 0.1
+
+    def test_homophily_index_bounds(self, homophily_graph, strong_heterophily_graph):
+        assert homophily_index(homophily_graph) > 0.5
+        assert homophily_index(strong_heterophily_graph) < 0.4
+
+    def test_path_graph_pure_heterophily(self, path_graph):
+        # Alternating labels on a path: no edge joins equal labels.
+        assert homophily_index(path_graph) == 0.0
+        assert label_assortativity(path_graph) < 0.0
+
+    def test_requires_labels(self):
+        graph = Graph.from_edges([(0, 1)], n_nodes=2)
+        with pytest.raises(ValueError):
+            label_assortativity(graph)
+
+
+class TestCompatibilitySkew:
+    def test_matches_planted_h(self):
+        graph = generate_graph(2_000, 20_000, skew_compatibility(3, h=8.0), seed=2)
+        assert compatibility_skew(graph) == pytest.approx(8.0, rel=0.25)
+
+    def test_homophily_graph(self):
+        graph = generate_graph(1_500, 12_000, homophily_compatibility(3, h=5.0), seed=3)
+        assert compatibility_skew(graph) == pytest.approx(5.0, rel=0.3)
+
+
+class TestGraphSummary:
+    def test_contains_expected_keys(self, heterophily_graph):
+        summary = graph_summary(heterophily_graph)
+        for key in (
+            "name",
+            "n_nodes",
+            "n_edges",
+            "average_degree",
+            "homophily_index",
+            "label_assortativity",
+            "compatibility_skew",
+            "class_prior",
+        ):
+            assert key in summary
+
+    def test_unlabeled_graph_skips_label_metrics(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)], n_nodes=3)
+        summary = graph_summary(graph)
+        assert "homophily_index" not in summary
+        assert summary["n_edges"] == 2
+
+    def test_values_consistent(self, heterophily_graph):
+        summary = graph_summary(heterophily_graph)
+        assert summary["n_nodes"] == heterophily_graph.n_nodes
+        assert summary["average_degree"] == pytest.approx(
+            heterophily_graph.average_degree
+        )

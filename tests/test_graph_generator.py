@@ -1,0 +1,146 @@
+"""Unit tests for the planted-compatibility synthetic graph generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import homophily_compatibility, skew_compatibility
+from repro.core.statistics import gold_standard_compatibility
+from repro.graph.generator import (
+    SyntheticGraphConfig,
+    assign_labels,
+    generate_graph,
+    planted_graph,
+)
+
+
+class TestConfigValidation:
+    def test_default_prior_is_balanced(self):
+        config = SyntheticGraphConfig(100, 300, skew_compatibility(3))
+        np.testing.assert_allclose(config.class_prior, [1 / 3] * 3)
+
+    def test_n_classes_and_degree(self):
+        config = SyntheticGraphConfig(100, 500, skew_compatibility(4))
+        assert config.n_classes == 4
+        assert config.average_degree == pytest.approx(10.0)
+
+    def test_rejects_bad_prior_length(self):
+        with pytest.raises(ValueError):
+            SyntheticGraphConfig(100, 300, skew_compatibility(3), class_prior=[0.5, 0.5])
+
+    def test_rejects_prior_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            SyntheticGraphConfig(
+                100, 300, skew_compatibility(3), class_prior=[0.5, 0.2, 0.2]
+            )
+
+    def test_rejects_negative_prior(self):
+        with pytest.raises(ValueError):
+            SyntheticGraphConfig(
+                100, 300, skew_compatibility(3), class_prior=[0.7, 0.5, -0.2]
+            )
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError, match="distribution"):
+            SyntheticGraphConfig(100, 300, skew_compatibility(3), distribution="zipf")
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            SyntheticGraphConfig(0, 300, skew_compatibility(3))
+
+
+class TestAssignLabels:
+    def test_exact_counts_balanced(self):
+        labels = assign_labels(99, np.array([1 / 3, 1 / 3, 1 / 3]), rng=0)
+        np.testing.assert_array_equal(np.bincount(labels), [33, 33, 33])
+
+    def test_exact_counts_imbalanced(self):
+        labels = assign_labels(120, np.array([1 / 6, 1 / 3, 1 / 2]), rng=0)
+        np.testing.assert_array_equal(np.bincount(labels), [20, 40, 60])
+
+    def test_rounding_absorbed_by_largest_class(self):
+        labels = assign_labels(100, np.array([0.33, 0.33, 0.34]), rng=0)
+        assert labels.shape[0] == 100
+        assert np.bincount(labels).sum() == 100
+
+    def test_shuffled(self):
+        labels = assign_labels(60, np.array([0.5, 0.5]), rng=1)
+        # Not sorted: the first half should not be all zeros.
+        assert labels[:30].sum() > 0
+
+
+class TestPlantedGraph:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return generate_graph(1_000, 6_000, skew_compatibility(3, h=3.0), seed=3)
+
+    def test_node_count(self, generated):
+        assert generated.n_nodes == 1_000
+
+    def test_edge_count_close_to_requested(self, generated):
+        # Rejection sampling may drop a tiny number of edges in dense blocks.
+        assert abs(generated.n_edges - 6_000) <= 60
+
+    def test_fully_labeled(self, generated):
+        assert np.all(generated.labels >= 0)
+
+    def test_no_self_loops(self, generated):
+        assert np.all(generated.adjacency.diagonal() == 0)
+
+    def test_symmetric(self, generated):
+        difference = generated.adjacency - generated.adjacency.T
+        assert abs(difference).sum() == 0
+
+    def test_planted_compatibility_recovered(self, generated):
+        planted = skew_compatibility(3, h=3.0)
+        measured = gold_standard_compatibility(generated)
+        assert np.max(np.abs(measured - planted)) < 0.05
+
+    def test_reproducible(self):
+        first = generate_graph(300, 1_500, skew_compatibility(3), seed=9)
+        second = generate_graph(300, 1_500, skew_compatibility(3), seed=9)
+        assert (first.adjacency != second.adjacency).nnz == 0
+
+    def test_different_seeds_differ(self):
+        first = generate_graph(300, 1_500, skew_compatibility(3), seed=1)
+        second = generate_graph(300, 1_500, skew_compatibility(3), seed=2)
+        assert (first.adjacency != second.adjacency).nnz > 0
+
+
+class TestPlantedVariants:
+    def test_homophily_matrix_planted(self):
+        graph = generate_graph(800, 4_800, homophily_compatibility(3, h=5.0), seed=4)
+        measured = gold_standard_compatibility(graph)
+        assert np.all(np.diag(measured) > 0.4)
+
+    def test_imbalanced_prior_respected(self):
+        prior = np.array([1 / 6, 1 / 3, 1 / 2])
+        graph = generate_graph(
+            600, 3_600, skew_compatibility(3, h=3.0), class_prior=prior, seed=5
+        )
+        np.testing.assert_allclose(graph.class_prior(), prior, atol=0.01)
+
+    def test_powerlaw_distribution(self):
+        graph = generate_graph(
+            800, 6_400, skew_compatibility(3, h=3.0), distribution="powerlaw", seed=6
+        )
+        degrees = graph.degrees
+        assert degrees.max() > 2.5 * degrees.mean()
+
+    def test_two_classes(self):
+        graph = generate_graph(400, 2_000, skew_compatibility(2, h=4.0), seed=7)
+        assert graph.n_classes == 2
+        measured = gold_standard_compatibility(graph)
+        assert measured[0, 1] > measured[0, 0]
+
+    def test_many_classes(self):
+        graph = generate_graph(1_000, 8_000, skew_compatibility(6, h=3.0), seed=8)
+        assert graph.n_classes == 6
+        assert np.unique(graph.labels).shape[0] == 6
+
+    def test_planted_graph_equivalent_to_wrapper(self):
+        config = SyntheticGraphConfig(200, 800, skew_compatibility(3), seed=11)
+        direct = planted_graph(config)
+        wrapped = generate_graph(200, 800, skew_compatibility(3), seed=11)
+        assert (direct.adjacency != wrapped.adjacency).nnz == 0

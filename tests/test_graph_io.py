@@ -1,0 +1,91 @@
+"""Unit tests for graph/label persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generator import generate_graph
+from repro.core.compatibility import skew_compatibility
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    load_edge_list,
+    load_graph_npz,
+    load_labels,
+    save_edge_list,
+    save_graph_npz,
+    save_labels,
+)
+
+
+@pytest.fixture()
+def sample_graph() -> Graph:
+    return generate_graph(80, 320, skew_compatibility(3, h=3.0), seed=1, name="sample")
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip_preserves_edges(self, sample_graph, tmp_path):
+        path = save_edge_list(sample_graph, tmp_path / "edges.tsv")
+        loaded = load_edge_list(path, n_nodes=sample_graph.n_nodes)
+        assert loaded.n_edges == sample_graph.n_edges
+        assert (loaded.adjacency != sample_graph.adjacency).nnz == 0
+
+    def test_comment_header_written(self, sample_graph, tmp_path):
+        path = save_edge_list(sample_graph, tmp_path / "edges.tsv")
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.startswith("#")
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        graph = load_edge_list(path)
+        assert graph.n_edges == 2
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_edge_list(path)
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "mygraph.tsv"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "mygraph"
+
+
+class TestLabelRoundTrip:
+    def test_round_trip(self, tmp_path):
+        labels = np.array([0, 1, -1, 2])
+        path = save_labels(labels, tmp_path / "labels.tsv")
+        np.testing.assert_array_equal(load_labels(path), labels)
+
+    def test_load_with_explicit_size(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("0\t1\n2\t0\n")
+        labels = load_labels(path, n_nodes=4)
+        np.testing.assert_array_equal(labels, [1, -1, 0, -1])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        np.testing.assert_array_equal(load_labels(path, n_nodes=3), [-1, -1, -1])
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_everything(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph_npz(sample_graph, path)
+        loaded = load_graph_npz(path)
+        assert loaded.n_nodes == sample_graph.n_nodes
+        assert loaded.n_classes == sample_graph.n_classes
+        assert loaded.name == sample_graph.name
+        np.testing.assert_array_equal(loaded.labels, sample_graph.labels)
+        assert (loaded.adjacency != sample_graph.adjacency).nnz == 0
+
+    def test_unlabeled_graph(self, tmp_path):
+        graph = Graph.from_edges([(0, 1), (1, 2)], n_nodes=3)
+        path = tmp_path / "plain.npz"
+        save_graph_npz(graph, path)
+        loaded = load_graph_npz(path)
+        assert loaded.labels is None
+        assert loaded.n_classes is None

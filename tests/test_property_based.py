@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.compatibility import (
+    free_parameter_count,
+    matrix_to_vector,
+    skew_compatibility,
+    vector_to_matrix,
+)
+from repro.core.energy import (
+    dce_energy,
+    dce_free_gradient,
+    dce_weights,
+    matrix_powers,
+)
+from repro.core.nonbacktracking import (
+    explicit_nb_walk_matrices,
+    factorized_nb_counts,
+)
+from repro.graph.graph import Graph, labels_from_one_hot, one_hot_labels
+from repro.utils.matrix import (
+    is_doubly_stochastic,
+    is_row_stochastic,
+    is_symmetric,
+    nearest_doubly_stochastic,
+    row_normalize,
+    sinkhorn_projection,
+)
+
+# ----------------------------------------------------------------- strategies
+classes = st.integers(min_value=2, max_value=6)
+
+
+def parameter_vectors(k: int):
+    return hnp.arrays(
+        np.float64,
+        shape=free_parameter_count(k),
+        elements=st.floats(min_value=-0.5, max_value=1.5, allow_nan=False),
+    )
+
+
+def positive_matrices(k: int):
+    return hnp.arrays(
+        np.float64,
+        shape=(k, k),
+        elements=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    )
+
+
+small_edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)),
+    min_size=1,
+    max_size=40,
+)
+
+
+# ------------------------------------------------------------------ invariants
+class TestParametrizationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(k=classes, data=st.data())
+    def test_vector_to_matrix_always_symmetric_doubly_stochastic(self, k, data):
+        parameters = data.draw(parameter_vectors(k))
+        matrix = vector_to_matrix(parameters, k)
+        assert is_symmetric(matrix, tol=1e-9)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(matrix.sum(axis=0), 1.0, atol=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(k=classes, data=st.data())
+    def test_round_trip_is_identity_on_free_entries(self, k, data):
+        parameters = data.draw(parameter_vectors(k))
+        recovered = matrix_to_vector(vector_to_matrix(parameters, k))
+        np.testing.assert_allclose(recovered, parameters, atol=1e-12)
+
+
+class TestNormalizationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(k=classes, data=st.data())
+    def test_row_normalize_is_row_stochastic(self, k, data):
+        matrix = data.draw(positive_matrices(k))
+        assert is_row_stochastic(row_normalize(matrix), tol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(k=classes, data=st.data())
+    def test_sinkhorn_gives_doubly_stochastic(self, k, data):
+        matrix = data.draw(positive_matrices(k))
+        assert is_doubly_stochastic(sinkhorn_projection(matrix), tol=1e-5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(k=classes, data=st.data())
+    def test_projection_gives_doubly_stochastic(self, k, data):
+        matrix = data.draw(positive_matrices(k))
+        projected = nearest_doubly_stochastic(matrix)
+        assert is_doubly_stochastic(projected, tol=1e-6)
+        assert is_symmetric(projected, tol=1e-8)
+
+
+class TestEnergyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(k=st.integers(2, 4), data=st.data(), lam=st.floats(0.5, 20.0))
+    def test_energy_nonnegative_and_zero_at_truth(self, k, data, lam):
+        parameters = data.draw(parameter_vectors(k))
+        matrix = vector_to_matrix(parameters, k)
+        statistics = matrix_powers(matrix, 3)
+        weights = dce_weights(3, lam)
+        assert dce_energy(matrix, statistics, weights) == pytest.approx(0.0, abs=1e-9)
+        other = vector_to_matrix(data.draw(parameter_vectors(k)), k)
+        assert dce_energy(other, statistics, weights) >= -1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(k=st.integers(2, 4), data=st.data())
+    def test_gradient_matches_finite_difference(self, k, data):
+        point = data.draw(parameter_vectors(k))
+        target = vector_to_matrix(data.draw(parameter_vectors(k)), k)
+        statistics = matrix_powers(target, 2)
+        weights = dce_weights(2, 3.0)
+
+        def objective(parameters):
+            return dce_energy(vector_to_matrix(parameters, k), statistics, weights)
+
+        analytic = dce_free_gradient(point, k, statistics, weights)
+        epsilon = 1e-6
+        numeric = np.zeros_like(point)
+        for index in range(point.shape[0]):
+            up, down = point.copy(), point.copy()
+            up[index] += epsilon
+            down[index] -= epsilon
+            numeric[index] = (objective(up) - objective(down)) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-3, atol=1e-5)
+
+
+class TestGraphProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(edges=small_edge_lists)
+    def test_from_edges_always_symmetric_no_loops(self, edges):
+        graph = Graph.from_edges(edges, n_nodes=15)
+        difference = graph.adjacency - graph.adjacency.T
+        assert abs(difference).sum() == 0
+        assert np.all(graph.adjacency.diagonal() == 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(edges=small_edge_lists)
+    def test_edge_list_round_trip(self, edges):
+        graph = Graph.from_edges(edges, n_nodes=15)
+        rebuilt = Graph.from_edges(graph.edge_list(), n_nodes=15)
+        assert (graph.adjacency != rebuilt.adjacency).nnz == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        labels=hnp.arrays(
+            np.int64, shape=st.integers(1, 30), elements=st.integers(-1, 4)
+        )
+    )
+    def test_one_hot_round_trip(self, labels):
+        matrix = one_hot_labels(labels, 5)
+        recovered = labels_from_one_hot(matrix.toarray())
+        np.testing.assert_array_equal(recovered, labels)
+
+    @settings(max_examples=25, deadline=None)
+    @given(edges=small_edge_lists, max_length=st.integers(1, 4))
+    def test_factorized_nb_counts_match_explicit(self, edges, max_length):
+        graph = Graph.from_edges(edges, n_nodes=15)
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=15)
+        labels_matrix = one_hot_labels(labels, 3)
+        factorized = factorized_nb_counts(graph.adjacency, labels_matrix, max_length)
+        explicit = explicit_nb_walk_matrices(graph.adjacency, max_length)
+        for fast, matrix in zip(factorized, explicit):
+            np.testing.assert_allclose(fast, matrix @ labels_matrix.toarray(), atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(edges=small_edge_lists)
+    def test_nb_length2_never_exceeds_plain(self, edges):
+        graph = Graph.from_edges(edges, n_nodes=15)
+        if graph.n_edges == 0:
+            return
+        plain = (graph.adjacency @ graph.adjacency).toarray()
+        nb = explicit_nb_walk_matrices(graph.adjacency, 2)[1].toarray()
+        assert np.all(nb <= plain + 1e-9)
+        assert np.all(nb >= -1e-9)
+
+
+class TestSkewMatrixProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(k=classes, h=st.floats(1.0, 50.0))
+    def test_skew_matrix_valid_for_all_h(self, k, h):
+        matrix = skew_compatibility(k, h=h)
+        assert is_symmetric(matrix)
+        assert is_doubly_stochastic(matrix, tol=1e-9)
+        assert matrix.min() > 0

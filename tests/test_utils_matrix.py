@@ -1,0 +1,194 @@
+"""Unit tests for repro.utils.matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.matrix import (
+    center_columns,
+    center_matrix,
+    degree_matrix,
+    degree_vector,
+    frobenius_distance,
+    is_doubly_stochastic,
+    is_row_stochastic,
+    is_symmetric,
+    nearest_doubly_stochastic,
+    row_normalize,
+    safe_reciprocal,
+    scale_normalize,
+    sinkhorn_projection,
+    symmetric_normalize,
+    to_csr,
+)
+
+
+class TestToCsr:
+    def test_dense_round_trip(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        sparse = to_csr(dense)
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(sparse.toarray(), dense)
+
+    def test_sparse_passthrough_same_dtype(self):
+        original = sp.csr_matrix(np.eye(3))
+        assert to_csr(original) is original
+
+    def test_dtype_conversion(self):
+        original = sp.csr_matrix(np.eye(3, dtype=np.int64))
+        converted = to_csr(original)
+        assert converted.dtype == np.float64
+
+    def test_coo_input(self):
+        coo = sp.coo_matrix(np.ones((2, 2)))
+        assert to_csr(coo).format == "csr"
+
+
+class TestSafeReciprocal:
+    def test_zeros_stay_zero(self):
+        np.testing.assert_allclose(safe_reciprocal(np.array([0.0, 2.0])), [0.0, 0.5])
+
+    def test_no_warnings_on_zero(self):
+        with np.errstate(divide="raise"):
+            safe_reciprocal(np.zeros(3))
+
+    def test_negative_values(self):
+        np.testing.assert_allclose(safe_reciprocal(np.array([-2.0])), [-0.5])
+
+
+class TestNormalizations:
+    def test_row_normalize_rows_sum_to_one(self):
+        matrix = np.array([[1.0, 3.0], [2.0, 2.0]])
+        normalized = row_normalize(matrix)
+        np.testing.assert_allclose(normalized.sum(axis=1), [1.0, 1.0])
+
+    def test_row_normalize_zero_row(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 1.0]])
+        normalized = row_normalize(matrix)
+        np.testing.assert_allclose(normalized[0], [0.0, 0.0])
+
+    def test_row_normalize_preserves_proportions(self):
+        matrix = np.array([[2.0, 6.0]])
+        np.testing.assert_allclose(row_normalize(matrix), [[0.25, 0.75]])
+
+    def test_symmetric_normalize_is_symmetric_for_symmetric_input(self):
+        matrix = np.array([[2.0, 1.0], [1.0, 3.0]])
+        normalized = symmetric_normalize(matrix)
+        assert is_symmetric(normalized)
+
+    def test_symmetric_normalize_matches_formula(self):
+        matrix = np.array([[4.0, 0.0], [0.0, 9.0]])
+        normalized = symmetric_normalize(matrix)
+        np.testing.assert_allclose(normalized, np.eye(2))
+
+    def test_scale_normalize_mean_is_one_over_k(self):
+        matrix = np.abs(np.random.default_rng(0).random((4, 4))) + 0.1
+        normalized = scale_normalize(matrix)
+        assert normalized.mean() == pytest.approx(1.0 / 4)
+
+    def test_scale_normalize_zero_matrix(self):
+        np.testing.assert_allclose(scale_normalize(np.zeros((3, 3))), np.zeros((3, 3)))
+
+
+class TestCentering:
+    def test_center_matrix_default_center(self):
+        matrix = np.full((3, 3), 1.0 / 3)
+        np.testing.assert_allclose(center_matrix(matrix), np.zeros((3, 3)))
+
+    def test_center_matrix_explicit_center(self):
+        matrix = np.ones((2, 2))
+        np.testing.assert_allclose(center_matrix(matrix, center=0.5), np.full((2, 2), 0.5))
+
+    def test_center_columns_skips_unlabeled_rows(self):
+        explicit = np.array([[1.0, 0.0], [0.0, 0.0]])
+        centered = center_columns(explicit)
+        np.testing.assert_allclose(centered[0], [0.5, -0.5])
+        np.testing.assert_allclose(centered[1], [0.0, 0.0])
+
+    def test_center_columns_rows_sum_to_zero_for_labeled(self):
+        explicit = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        centered = center_columns(explicit)
+        np.testing.assert_allclose(centered.sum(axis=1), [0.0, 0.0], atol=1e-12)
+
+
+class TestPredicates:
+    def test_is_symmetric_true(self):
+        assert is_symmetric(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_is_symmetric_false(self):
+        assert not is_symmetric(np.array([[1.0, 2.0], [3.0, 1.0]]))
+
+    def test_is_symmetric_non_square(self):
+        assert not is_symmetric(np.ones((2, 3)))
+
+    def test_is_row_stochastic(self):
+        assert is_row_stochastic(np.array([[0.4, 0.6], [0.5, 0.5]]))
+        assert not is_row_stochastic(np.array([[0.4, 0.7], [0.5, 0.5]]))
+
+    def test_is_doubly_stochastic(self):
+        assert is_doubly_stochastic(np.full((3, 3), 1.0 / 3))
+        assert not is_doubly_stochastic(np.array([[0.9, 0.1], [0.5, 0.5]]))
+
+
+class TestProjections:
+    def test_nearest_doubly_stochastic_output_is_doubly_stochastic(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.random((4, 4))
+        projected = nearest_doubly_stochastic(matrix)
+        assert is_doubly_stochastic(projected, tol=1e-8)
+
+    def test_nearest_doubly_stochastic_is_symmetric(self):
+        rng = np.random.default_rng(2)
+        projected = nearest_doubly_stochastic(rng.random((5, 5)))
+        assert is_symmetric(projected, tol=1e-8)
+
+    def test_nearest_doubly_stochastic_fixed_point(self):
+        matrix = np.full((3, 3), 1.0 / 3)
+        np.testing.assert_allclose(nearest_doubly_stochastic(matrix), matrix, atol=1e-10)
+
+    def test_nearest_doubly_stochastic_closer_than_uniform(self):
+        # The projection of a matrix already close to doubly stochastic should
+        # stay closer to it than the uniform matrix is.
+        target = np.array([[0.7, 0.2, 0.1], [0.2, 0.6, 0.2], [0.1, 0.2, 0.7]])
+        noisy = target + 0.01
+        projected = nearest_doubly_stochastic(noisy)
+        uniform = np.full((3, 3), 1.0 / 3)
+        assert frobenius_distance(projected, target) < frobenius_distance(uniform, target)
+
+    def test_sinkhorn_projection_doubly_stochastic(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.random((4, 4)) + 0.05
+        scaled = sinkhorn_projection(matrix)
+        assert is_doubly_stochastic(scaled, tol=1e-6)
+
+    def test_sinkhorn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sinkhorn_projection(np.array([[1.0, -1.0], [0.5, 0.5]]))
+
+
+class TestDistancesAndDegrees:
+    def test_frobenius_distance_zero_for_equal(self):
+        matrix = np.random.default_rng(0).random((3, 3))
+        assert frobenius_distance(matrix, matrix) == 0.0
+
+    def test_frobenius_distance_known_value(self):
+        assert frobenius_distance(np.zeros((2, 2)), np.ones((2, 2))) == pytest.approx(2.0)
+
+    def test_frobenius_distance_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frobenius_distance(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_degree_vector(self, dense_small_adjacency):
+        degrees = degree_vector(dense_small_adjacency)
+        np.testing.assert_allclose(
+            degrees, np.asarray(dense_small_adjacency.sum(axis=1)).ravel()
+        )
+
+    def test_degree_matrix_diagonal(self, dense_small_adjacency):
+        diag = degree_matrix(dense_small_adjacency)
+        np.testing.assert_allclose(
+            diag.diagonal(), degree_vector(dense_small_adjacency)
+        )
+        assert diag.nnz <= dense_small_adjacency.shape[0]
