@@ -4,7 +4,8 @@ A faithful, laptop-scale reproduction of the SIGMOD 2020 paper by
 Krishna Kumar P., Paul Langton and Wolfgang Gatterbauer.  The library covers:
 
 * the propagation substrate — LinBP, loopy BP, random-walk and homophily
-  baselines (:mod:`repro.propagation`),
+  baselines, all behind one :class:`Propagator` interface with string-keyed
+  registries (:mod:`repro.propagation`),
 * the graph substrate — sparse graph container, planted-compatibility
   generator and dataset stand-ins (:mod:`repro.graph`),
 * the paper's contribution — factorized non-backtracking path statistics and
@@ -43,31 +44,53 @@ from repro.eval.seeding import stratified_seed_indices, stratified_seed_labels
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.generator import generate_graph
 from repro.graph.graph import Graph
+from repro.graph.operators import GraphOperators
+from repro.propagation.engine import (
+    ESTIMATORS,
+    PROPAGATORS,
+    PropagationResult,
+    Propagator,
+    get_estimator,
+    get_propagator,
+    propagator_names,
+    register_estimator,
+    register_propagator,
+)
 from repro.propagation.linbp import linbp, propagate_and_label
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DCE",
     "DCEr",
+    "ESTIMATORS",
     "GoldStandard",
     "Graph",
+    "GraphOperators",
     "HeuristicEstimator",
     "HoldoutEstimator",
     "LCE",
     "MCE",
+    "PROPAGATORS",
+    "PropagationResult",
+    "Propagator",
     "__version__",
     "accuracy",
     "compatibility_l2",
     "dataset_names",
     "generate_graph",
+    "get_estimator",
+    "get_propagator",
     "gold_standard_compatibility",
     "homophily_compatibility",
     "linbp",
     "load_dataset",
     "macro_accuracy",
     "propagate_and_label",
+    "propagator_names",
     "random_compatibility",
+    "register_estimator",
+    "register_propagator",
     "run_experiment",
     "skew_compatibility",
     "stratified_seed_indices",

@@ -15,6 +15,11 @@ Examples
     repro generate --nodes 5000 --edges 62500 --classes 3 --skew 3 -o graph.npz
     repro estimate graph.npz --method DCEr --fraction 0.01
     repro experiment graph.npz --method DCEr --fraction 0.01 --json result.json
+    repro experiment graph.npz --method DCEr --propagator harmonic
+
+The ``--propagator`` choices come from the ``PROPAGATORS`` registry of
+:mod:`repro.propagation.engine`, so registering a new algorithm makes it
+available here without touching this module.
 """
 
 from __future__ import annotations
@@ -34,9 +39,13 @@ from repro.graph.features import graph_summary
 from repro.graph.generator import generate_graph
 from repro.graph.io import load_graph_npz, save_graph_npz
 from repro.core.compatibility import homophily_compatibility, skew_compatibility
+from repro.propagation.engine import propagator_names
 
 __all__ = ["main", "build_parser"]
 
+# Per-method constructor shims: map parsed CLI arguments onto the estimator
+# constructors (all of these classes are also in the ESTIMATORS registry of
+# repro.propagation.engine, keyed by the same names).
 ESTIMATORS = {
     "GS": lambda args: GoldStandard(),
     "LCE": lambda args: LCE(),
@@ -89,8 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="estimate, propagate and score against ground truth"
     )
     _add_estimation_arguments(experiment)
-    experiment.add_argument("--iterations", type=int, default=10,
-                            help="LinBP iterations for the final labeling")
+    experiment.add_argument("--iterations", type=int, default=None,
+                            help="propagation iteration cap (default: the "
+                                 "selected propagator's native budget)")
+    experiment.add_argument("--propagator", choices=propagator_names(),
+                            default="linbp",
+                            help="propagation algorithm for the final labeling")
     experiment.add_argument("--json", help="write the result record to this JSON file")
     return parser
 
@@ -168,8 +181,12 @@ def _command_experiment(args: argparse.Namespace) -> int:
         label_fraction=args.fraction,
         n_propagation_iterations=args.iterations,
         seed=args.seed,
+        propagator=args.propagator,
     )
     print(f"method: {result.method}")
+    print(f"propagator: {result.propagator} "
+          f"({result.propagation_iterations} sweeps, "
+          f"{'converged' if result.propagation_converged else 'not converged'})")
     print(f"seeds: {result.n_seeds} ({result.label_fraction:.2%} of nodes)")
     print(f"macro accuracy: {result.accuracy:.4f}")
     print(f"L2 distance to gold standard: {result.l2_to_gold:.4f}")

@@ -1,4 +1,10 @@
-"""Compatibility estimators: Holdout, LCE, MCE, DCE, DCEr, heuristics."""
+"""Compatibility estimators: Holdout, LCE, MCE, DCE, DCEr, heuristics.
+
+Every estimator class is also registered (by its ``method_name``) in the
+``ESTIMATORS`` registry of :mod:`repro.propagation.engine`, so experiments
+and tools can instantiate estimators by name with
+:func:`repro.propagation.engine.get_estimator`.
+"""
 
 from repro.core.estimators.base import BaseEstimator, EstimationResult
 from repro.core.estimators.dce import DCE, DCEr
@@ -7,6 +13,20 @@ from repro.core.estimators.heuristic import HeuristicEstimator
 from repro.core.estimators.holdout import HoldoutEstimator
 from repro.core.estimators.lce import LCE
 from repro.core.estimators.mce import MCE
+from repro.propagation.engine import ESTIMATORS, register_estimator
+
+for _estimator_class in (
+    DCE,
+    DCEr,
+    GoldStandard,
+    HeuristicEstimator,
+    HoldoutEstimator,
+    LCE,
+    MCE,
+):
+    if _estimator_class.method_name not in ESTIMATORS:
+        register_estimator()(_estimator_class)
+del _estimator_class
 
 __all__ = [
     "BaseEstimator",

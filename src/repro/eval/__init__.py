@@ -1,6 +1,6 @@
 """Evaluation harness: seeding, metrics, end-to-end experiments and sweeps."""
 
-from repro.eval.experiment import ExperimentResult, run_experiment
+from repro.eval.experiment import ExperimentResult, resolve_propagator, run_experiment
 from repro.eval.metrics import (
     accuracy,
     compatibility_l2,
@@ -25,6 +25,7 @@ __all__ = [
     "confusion_matrix",
     "load_experiments_json",
     "macro_accuracy",
+    "resolve_propagator",
     "run_experiment",
     "save_experiments_json",
     "stratified_seed_indices",

@@ -75,6 +75,9 @@ def experiment_to_dict(result: ExperimentResult) -> dict:
         "estimation_seconds": result.estimation_seconds,
         "propagation_seconds": result.propagation_seconds,
         "compatibility": np.asarray(result.compatibility).tolist(),
+        "propagator": result.propagator,
+        "propagation_iterations": result.propagation_iterations,
+        "propagation_converged": result.propagation_converged,
     }
 
 
@@ -102,6 +105,9 @@ def load_experiments_json(path) -> list[ExperimentResult]:
                 compatibility=np.asarray(entry["compatibility"]),
                 n_seeds=entry["n_seeds"],
                 details={},
+                propagator=entry.get("propagator", "linbp"),
+                propagation_iterations=entry.get("propagation_iterations", 0),
+                propagation_converged=entry.get("propagation_converged", True),
             )
         )
     return results

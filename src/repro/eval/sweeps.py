@@ -4,6 +4,14 @@ A sweep runs :func:`repro.eval.experiment.run_experiment` for every
 combination of (estimator, parameter value, repetition) and aggregates the
 repetitions into means and standard deviations — one
 :class:`SweepResult` per figure series.
+
+Both sweep functions accept any registered propagation algorithm via the
+``propagator`` argument (forwarded to :func:`run_experiment` together with
+``propagator_kwargs``), so baseline figures like Fig. 6i compare algorithms
+through the exact same sweep machinery.  Because every point reuses the same
+:class:`~repro.graph.graph.Graph`, its cached operator layer makes the
+per-point propagation setup (normalizations, spectral radius) free after the
+first call.
 """
 
 from __future__ import annotations
@@ -102,13 +110,15 @@ def sweep_label_sparsity(
     fractions: Sequence[float],
     n_repetitions: int = 3,
     seed=None,
+    propagator: str = "linbp",
     **experiment_kwargs,
 ) -> SweepResult:
     """Accuracy (and friends) as a function of the label fraction ``f``.
 
     This is the workhorse behind Fig. 3a, Fig. 6j, Fig. 7a-h: every estimator
     is evaluated on the same seed sets (same RNG stream per repetition) so
-    the comparison is paired.
+    the comparison is paired.  ``propagator`` selects any registered
+    propagation algorithm for the labeling step.
     """
     rng = ensure_rng(seed)
     result = SweepResult(
@@ -125,6 +135,7 @@ def sweep_label_sparsity(
                     estimator,
                     label_fraction=fraction,
                     seed=repetition_seed,
+                    propagator=propagator,
                     **experiment_kwargs,
                 )
                 record.method = name
@@ -140,13 +151,15 @@ def sweep_parameter(
     label_fraction: float,
     n_repetitions: int = 3,
     seed=None,
+    propagator: str = "linbp",
     **experiment_kwargs,
 ) -> SweepResult:
     """Generic sweep over an arbitrary parameter (number of classes, degree, ...).
 
     ``graph_factory(value)`` builds the graph for a parameter value and
     ``estimator_factory(value)`` the estimators, so sweeps can vary anything
-    from ``k`` (Fig. 6g/6l) to the restart count (Fig. 6h).
+    from ``k`` (Fig. 6g/6l) to the restart count (Fig. 6h).  ``propagator``
+    selects any registered propagation algorithm for the labeling step.
     """
     rng = ensure_rng(seed)
     first_estimators = estimator_factory(parameter_values[0])
@@ -166,6 +179,7 @@ def sweep_parameter(
                     estimator,
                     label_fraction=label_fraction,
                     seed=repetition_seed,
+                    propagator=propagator,
                     **experiment_kwargs,
                 )
                 record.method = name

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.estimators.base import BaseEstimator
 from repro.eval.seeding import stratified_seed_labels
 from repro.graph.graph import Graph
-from repro.propagation.linbp import propagate_and_label
+from repro.propagation.engine import Propagator
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Timer
 
@@ -58,15 +58,29 @@ def time_propagation(
     graph: Graph,
     compatibility: np.ndarray,
     label_fraction: float,
-    n_iterations: int = 10,
+    n_iterations: int | None = None,
     seed=None,
+    propagator: str | Propagator = "linbp",
 ) -> TimingRecord:
-    """Time one LinBP labeling pass with a given compatibility matrix."""
+    """Time one labeling pass of any registered propagation algorithm.
+
+    Defaults to LinBP with the given compatibility matrix.  Note the
+    measured time excludes per-graph setup that the cached operator layer
+    amortizes: on a fresh :class:`Graph` the first call pays for the
+    spectral radius / normalization, subsequent calls do not.
+    """
+    from repro.eval.experiment import resolve_propagator
+
     rng = ensure_rng(seed)
     partial = stratified_seed_labels(graph.require_labels(), fraction=label_fraction, rng=rng)
+    engine = resolve_propagator(propagator, None, n_iterations, None)
     timer = Timer()
     with timer:
-        propagate_and_label(graph, partial, compatibility, n_iterations=n_iterations)
+        engine.propagate(
+            graph,
+            partial,
+            compatibility=compatibility if engine.needs_compatibility else None,
+        )
     return TimingRecord(
         operation="propagation",
         n_nodes=graph.n_nodes,

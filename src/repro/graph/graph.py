@@ -102,6 +102,23 @@ class Graph:
 
     # --------------------------------------------------------------- matrices
     @property
+    def operators(self) -> "GraphOperators":
+        """Memoized derived operators (normalizations, spectral radius).
+
+        The :class:`~repro.graph.operators.GraphOperators` instance is built
+        lazily and rebuilt whenever :attr:`adjacency` is replaced with a new
+        object, so repeated propagation calls on the same graph reuse the
+        cached normalizations and the expensive spectral-radius estimate.
+        """
+        from repro.graph.operators import GraphOperators
+
+        cached = self.__dict__.get("_operators")
+        if cached is None or cached.adjacency is not self.adjacency:
+            cached = GraphOperators(self.adjacency)
+            self.__dict__["_operators"] = cached
+        return cached
+
+    @property
     def degrees(self) -> np.ndarray:
         """Weighted degree of each node."""
         return degree_vector(self.adjacency)

@@ -1,23 +1,121 @@
-"""Label propagation algorithms: LinBP, loopy BP, random walks and baselines."""
+"""Label propagation algorithms on a unified engine.
 
-from repro.propagation.bp import beliefpropagation
-from repro.propagation.cocitation import cocitation_classify
-from repro.propagation.convergence import linbp_scaling, spectral_radius
-from repro.propagation.harmonic import harmonic_functions
-from repro.propagation.lgc import local_global_consistency
-from repro.propagation.linbp import LinBPResult, linbp, propagate_and_label
-from repro.propagation.random_walk import multi_rank_walk, random_walk_with_restart
+Architecture
+------------
+All seven algorithms (LinBP with and without echo cancellation, loopy BP,
+harmonic functions, LGC, MultiRankWalk, co-citation) implement one
+interface, :class:`~repro.propagation.engine.Propagator`:
+
+* the **engine** (:mod:`repro.propagation.engine`) owns the shared,
+  buffer-reusing fixed-point loop (:func:`~repro.propagation.engine.fixed_point_iterate`
+  — configurable tolerance and iteration cap, residual history, optional
+  float32 iterates), the uniform
+  :class:`~repro.propagation.engine.PropagationResult` (beliefs, labels,
+  iterations, convergence flag, residuals, wall time) and the string-keyed
+  ``PROPAGATORS`` / ``ESTIMATORS`` registries;
+* each **algorithm module** contributes a ``Propagator`` subclass plus a
+  thin backwards-compatible functional wrapper (``linbp``,
+  ``harmonic_functions``, ...);
+* the **cached operator layer** (:class:`repro.graph.operators.GraphOperators`,
+  exposed as ``Graph.operators``) memoizes the normalized adjacencies,
+  degree vectors and the spectral radius each algorithm needs, so repeated
+  runs on the same graph never recompute them — in particular LinBP's
+  convergence scaling reuses one power iteration per graph.
+
+Experiments, sweeps, benchmarks and the CLI all select algorithms by
+registry name (``run_experiment(..., propagator="lgc")``,
+``repro experiment --propagator mrw``).
+
+Registering a new propagator
+----------------------------
+Subclass :class:`~repro.propagation.engine.Propagator`, implement ``_run``
+and decorate — about ten lines::
+
+    from repro.propagation.engine import (
+        Propagator, fixed_point_iterate, register_propagator,
+    )
+
+    @register_propagator()
+    class JacobiSmoother(Propagator):
+        name = "jacobi"
+
+        def _run(self, operators, prior, seed_labels, n_classes, H):
+            priors = self._dense(prior)
+            step = lambda F, out: np.asarray(operators.row_normalized @ F)
+            beliefs, n_iter, ok, residuals = fixed_point_iterate(
+                step, priors, self.max_iterations, self.tolerance)
+            return beliefs, n_iter, ok, residuals, {}
+
+After the import the algorithm is available everywhere by name:
+``get_propagator("jacobi")``, ``run_experiment(..., propagator="jacobi")``
+and ``repro experiment --propagator jacobi``.
+"""
+
+from repro.propagation.bp import BPResult, LoopyBPPropagator, beliefpropagation
+from repro.propagation.cocitation import CocitationPropagator, cocitation_classify
+from repro.propagation.convergence import (
+    linbp_scaling,
+    power_iteration_radius,
+    spectral_radius,
+)
+from repro.propagation.engine import (
+    ESTIMATORS,
+    PROPAGATORS,
+    PropagationResult,
+    Propagator,
+    estimator_names,
+    fixed_point_iterate,
+    get_estimator,
+    get_propagator,
+    propagator_names,
+    register_estimator,
+    register_propagator,
+)
+from repro.propagation.harmonic import HarmonicPropagator, harmonic_functions
+from repro.propagation.lgc import LGCPropagator, local_global_consistency
+from repro.propagation.linbp import (
+    EchoLinBPPropagator,
+    LinBPPropagator,
+    LinBPResult,
+    linbp,
+    propagate_and_label,
+)
+from repro.propagation.random_walk import (
+    MultiRankWalkPropagator,
+    multi_rank_walk,
+    random_walk_with_restart,
+)
 
 __all__ = [
+    "BPResult",
+    "CocitationPropagator",
+    "ESTIMATORS",
+    "EchoLinBPPropagator",
+    "HarmonicPropagator",
+    "LGCPropagator",
+    "LinBPPropagator",
     "LinBPResult",
+    "LoopyBPPropagator",
+    "MultiRankWalkPropagator",
+    "PROPAGATORS",
+    "PropagationResult",
+    "Propagator",
     "beliefpropagation",
     "cocitation_classify",
+    "estimator_names",
+    "fixed_point_iterate",
+    "get_estimator",
+    "get_propagator",
     "harmonic_functions",
     "linbp",
     "linbp_scaling",
     "local_global_consistency",
     "multi_rank_walk",
+    "power_iteration_radius",
     "propagate_and_label",
+    "propagator_names",
     "random_walk_with_restart",
+    "register_estimator",
+    "register_propagator",
     "spectral_radius",
 ]

@@ -10,18 +10,85 @@ back to the distance-1 majority when no labeled 2-hop neighbor exists.
 
 Included as an additional baseline for the sparse-label experiments: like
 MCE, it works when labels are plentiful and degrades quickly as f shrinks.
+The algorithm is non-iterative, so :class:`CocitationPropagator` reports
+zero fixed-point sweeps; :func:`cocitation_classify` is the
+backwards-compatible functional wrapper.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.nonbacktracking import factorized_nb_counts
-from repro.graph.graph import labels_from_one_hot, one_hot_labels
-from repro.utils.matrix import to_csr
-from repro.utils.validation import check_labels, check_positive
+from repro.graph.graph import one_hot_labels
+from repro.graph.operators import GraphOperators
+from repro.propagation.engine import Propagator, register_propagator
+from repro.utils.validation import check_positive
 
-__all__ = ["cocitation_classify"]
+__all__ = ["CocitationPropagator", "cocitation_classify"]
+
+
+@register_propagator()
+class CocitationPropagator(Propagator):
+    """Majority vote among distance-2 non-backtracking neighbors.
+
+    Parameters
+    ----------
+    max_distance:
+        Largest path length considered (2 reproduces co-citation; larger
+        values fall back through 3-, 4-, ... hop counts for isolated cases).
+    """
+
+    name = "cocitation"
+    needs_compatibility = False
+
+    def __init__(
+        self,
+        max_iterations: int = 1,
+        tolerance: float = 0.0,
+        dtype=np.float64,
+        max_distance: int = 2,
+    ) -> None:
+        super().__init__(max_iterations=max_iterations, tolerance=tolerance, dtype=dtype)
+        check_positive(max_distance, "max_distance")
+        self.max_distance = int(max_distance)
+
+    def _run(
+        self,
+        operators: GraphOperators,
+        prior_beliefs,
+        seed_labels,
+        n_classes: int,
+        compatibility,
+    ) -> tuple[np.ndarray, int, bool, list[float], dict]:
+        if seed_labels is None:
+            raise ValueError("co-citation classification needs seed_labels")
+        from repro.core.nonbacktracking import factorized_nb_counts
+
+        explicit = one_hot_labels(seed_labels, n_classes)
+        counts = factorized_nb_counts(operators.adjacency, explicit, self.max_distance)
+
+        n_nodes = operators.n_nodes
+        beliefs = np.zeros((n_nodes, n_classes), dtype=self.dtype)
+        decided = np.zeros(n_nodes, dtype=bool)
+        # Prefer the co-citation (distance-2) signal, then fall back to
+        # shorter / longer distances for nodes that still have no information.
+        preference_order = [1] + [
+            distance for distance in range(self.max_distance) if distance != 1
+        ]
+        for distance_index in preference_order:
+            if distance_index >= len(counts):
+                continue
+            undecided = ~decided
+            if not np.any(undecided):
+                break
+            distance_votes = np.asarray(counts[distance_index])[undecided]
+            beliefs[undecided] = distance_votes
+            informative = np.abs(distance_votes).sum(axis=1) > 0
+            decided[np.flatnonzero(undecided)[informative]] = True
+        # Rows that never saw a labeled neighbor stay all-zero, which the
+        # engine's arg-max maps to -1.
+        beliefs[~decided] = 0.0
+        return beliefs, 0, True, [], {"max_distance": self.max_distance}
 
 
 def cocitation_classify(
@@ -41,34 +108,14 @@ def cocitation_classify(
     n_classes:
         Number of classes.
     max_distance:
-        Largest path length considered (2 reproduces co-citation; larger
-        values fall back through 3-, 4-, ... hop counts for isolated cases).
+        Largest path length considered.
 
     Returns
     -------
     A full label vector; seed nodes keep their labels, nodes with no labeled
-    neighbor within ``max_distance`` hops stay ``-1``.
+    neighbor within ``max_distance`` hops stay ``-1``.  Backwards-compatible
+    wrapper around :class:`CocitationPropagator`.
     """
-    check_positive(max_distance, "max_distance")
-    adjacency = to_csr(adjacency)
-    seed_labels = check_labels(seed_labels, n_nodes=adjacency.shape[0], n_classes=n_classes)
-    explicit = one_hot_labels(seed_labels, n_classes)
-    counts = factorized_nb_counts(adjacency, explicit, max_distance)
-
-    predicted = np.full(adjacency.shape[0], -1, dtype=np.int64)
-    # Prefer the co-citation (distance-2) signal, then fall back to shorter /
-    # longer distances for nodes that still have no information.
-    preference_order = [1] + [distance for distance in range(max_distance) if distance != 1]
-    for distance_index in preference_order:
-        if distance_index >= len(counts):
-            continue
-        undecided = predicted < 0
-        if not np.any(undecided):
-            break
-        distance_votes = counts[distance_index][undecided]
-        decided = labels_from_one_hot(distance_votes)
-        predicted[np.flatnonzero(undecided)] = decided
-
-    seeded = seed_labels >= 0
-    predicted[seeded] = seed_labels[seeded]
-    return predicted
+    propagator = CocitationPropagator(max_distance=max_distance)
+    result = propagator.propagate(adjacency, seed_labels, n_classes=n_classes)
+    return result.labels

@@ -65,8 +65,16 @@ def spectral_radius(matrix, seed=0) -> float:
         n = matrix.shape[0]
         if n > 2:
             try:
+                # A seeded start vector makes ARPACK deterministic, so two
+                # runs on the same graph agree to the last bit (the cached
+                # operator layer and fresh computations must match exactly).
+                start = ensure_rng(seed).standard_normal(n)
                 values = spla.eigs(
-                    matrix.astype(np.float64), k=1, return_eigenvectors=False, maxiter=1000
+                    matrix.astype(np.float64),
+                    k=1,
+                    v0=start,
+                    return_eigenvectors=False,
+                    maxiter=1000,
                 )
                 return float(np.abs(values[0]))
             except (spla.ArpackNoConvergence, RuntimeError, ValueError):

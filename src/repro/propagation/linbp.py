@@ -11,7 +11,15 @@ suite exercises exactly that equivalence — but centering plus scaling keeps
 the iterates bounded, so it remains the numerically sensible default.
 
 The optional echo-cancellation term reproduces the original LinBP update of
-Gatterbauer et al. (2015) for ablation purposes.
+Gatterbauer et al. (2015) for ablation purposes; it is registered separately
+as the ``linbp_echo`` propagator.
+
+:class:`LinBPPropagator` is the engine-native implementation; :func:`linbp`
+and :func:`propagate_and_label` are thin backwards-compatible wrappers.  When
+called with a :class:`~repro.graph.graph.Graph`, the convergence scaling
+``epsilon`` (which needs the graph's spectral radius) comes from the cached
+operator layer, so repeated runs on the same graph never re-run the power
+iteration.
 """
 
 from __future__ import annotations
@@ -19,19 +27,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.graph.graph import Graph, labels_from_one_hot, one_hot_labels
-from repro.propagation.convergence import linbp_scaling
-from repro.utils.matrix import center_columns, center_matrix, degree_vector, to_csr
-from repro.utils.validation import check_positive, check_square
+from repro.graph.graph import Graph
+from repro.graph.operators import GraphOperators
+from repro.propagation.engine import (
+    Propagator,
+    fixed_point_iterate,
+    register_propagator,
+)
+from repro.utils.matrix import center_columns, center_matrix
+from repro.utils.validation import check_positive
 
-__all__ = ["LinBPResult", "linbp", "propagate_and_label"]
+__all__ = [
+    "LinBPResult",
+    "LinBPPropagator",
+    "EchoLinBPPropagator",
+    "linbp",
+    "propagate_and_label",
+]
 
 
 @dataclass
 class LinBPResult:
-    """Outcome of a LinBP run.
+    """Outcome of a LinBP run (legacy result type of :func:`linbp`).
 
     Attributes
     ----------
@@ -54,10 +72,117 @@ class LinBPResult:
     converged: bool
 
 
-def _as_dense(matrix) -> np.ndarray:
-    if sp.issparse(matrix):
-        return np.asarray(matrix.todense(), dtype=np.float64)
-    return np.asarray(matrix, dtype=np.float64)
+@register_propagator()
+class LinBPPropagator(Propagator):
+    """LinBP on the unified engine: ``F <- X + W F H_s``.
+
+    Parameters
+    ----------
+    max_iterations:
+        Number of synchronous update sweeps (paper uses 10).
+    tolerance:
+        Early-exit threshold on the max-norm belief change.
+    dtype:
+        Iterate dtype; ``numpy.float32`` halves memory traffic.
+    safety:
+        Convergence safety factor ``s`` used to derive ``epsilon`` (Eq. 2).
+    center:
+        Center ``X`` and ``H`` around ``1/k`` before propagating (the
+        standard LinBP formulation).  Theorem 3.1 guarantees the labels
+        match the uncentered variant.
+    echo_cancellation:
+        Include the echo-cancellation correction term (ablation only).
+    scaling:
+        Explicit epsilon; overrides the automatic choice when provided.
+    """
+
+    name = "linbp"
+    needs_compatibility = True
+
+    def __init__(
+        self,
+        max_iterations: int = 10,
+        tolerance: float = 1e-6,
+        dtype=np.float64,
+        safety: float = 0.5,
+        center: bool = True,
+        echo_cancellation: bool = False,
+        scaling: float | None = None,
+    ) -> None:
+        super().__init__(max_iterations=max_iterations, tolerance=tolerance, dtype=dtype)
+        check_positive(safety, "safety")
+        self.safety = float(safety)
+        self.center = bool(center)
+        self.echo_cancellation = bool(echo_cancellation)
+        self.scaling = scaling
+
+    def _run(
+        self,
+        operators: GraphOperators,
+        prior_beliefs,
+        seed_labels,
+        n_classes: int,
+        compatibility: np.ndarray,
+    ) -> tuple[np.ndarray, int, bool, list[float], dict]:
+        explicit = self._dense(prior_beliefs)
+        if self.center:
+            priors = center_columns(explicit)
+            modulation = center_matrix(compatibility)
+        else:
+            priors = explicit
+            modulation = compatibility
+
+        scaling = self.scaling
+        if scaling is None:
+            centered = modulation if self.center else center_matrix(compatibility)
+            scaling = operators.linbp_scaling(centered, safety=self.safety)
+        modulation = np.asarray(scaling * modulation, dtype=self.dtype)
+        priors = np.asarray(priors, dtype=self.dtype)
+        adjacency = operators.cast_adjacency(self.dtype)
+        echo = self.echo_cancellation
+        degrees = operators.degrees.astype(self.dtype) if echo else None
+        echo_modulation = modulation @ modulation if echo else None
+
+        def step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
+            propagated = np.asarray(adjacency @ current)
+            np.matmul(propagated, modulation, out=out)
+            if echo:
+                # Echo cancellation subtracts each node's own (modulated)
+                # echo: F <- X + W F H - D F H^2 (linearized correction term).
+                out -= degrees[:, None] * (current @ echo_modulation)
+            out += priors
+            return out
+
+        beliefs, n_iterations, converged, residuals = fixed_point_iterate(
+            step, priors, self.max_iterations, self.tolerance
+        )
+        return beliefs, n_iterations, converged, residuals, {"scaling": float(scaling)}
+
+
+@register_propagator()
+class EchoLinBPPropagator(LinBPPropagator):
+    """Original LinBP of Gatterbauer et al. (2015) with echo cancellation."""
+
+    name = "linbp_echo"
+
+    def __init__(
+        self,
+        max_iterations: int = 10,
+        tolerance: float = 1e-6,
+        dtype=np.float64,
+        safety: float = 0.5,
+        center: bool = True,
+        scaling: float | None = None,
+    ) -> None:
+        super().__init__(
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            dtype=dtype,
+            safety=safety,
+            center=center,
+            echo_cancellation=True,
+            scaling=scaling,
+        )
 
 
 def linbp(
@@ -73,80 +198,26 @@ def linbp(
 ) -> LinBPResult:
     """Run LinBP and return beliefs plus arg-max labels.
 
-    Parameters
-    ----------
-    adjacency:
-        Symmetric sparse adjacency matrix ``W``.
-    prior_beliefs:
-        ``n x k`` explicit-belief matrix ``X`` (one-hot rows for seed nodes,
-        zero rows for unlabeled nodes).
-    compatibility:
-        ``k x k`` compatibility matrix ``H`` (doubly stochastic, or already a
-        residual matrix when ``center=False``).
-    n_iterations:
-        Number of synchronous update sweeps (paper uses 10).
-    safety:
-        Convergence safety factor ``s`` used to derive ``epsilon`` (Eq. 2).
-    center:
-        Center ``X`` and ``H`` around ``1/k`` before propagating (the
-        standard LinBP formulation).  Theorem 3.1 guarantees the labels match
-        the uncentered variant.
-    echo_cancellation:
-        Include the echo-cancellation correction term (ablation only).
-    scaling:
-        Explicit epsilon; overrides the automatic choice when provided.
+    Backwards-compatible functional wrapper around
+    :class:`LinBPPropagator`; see the class for parameter semantics.
     """
-    check_positive(n_iterations, "n_iterations")
-    adjacency = to_csr(adjacency)
-    compatibility = check_square(compatibility, "compatibility")
-    explicit = _as_dense(prior_beliefs)
-    if explicit.shape[0] != adjacency.shape[0]:
-        raise ValueError(
-            f"prior beliefs have {explicit.shape[0]} rows for a graph with "
-            f"{adjacency.shape[0]} nodes"
-        )
-    if explicit.shape[1] != compatibility.shape[0]:
-        raise ValueError(
-            f"prior beliefs have {explicit.shape[1]} columns but the "
-            f"compatibility matrix is {compatibility.shape[0]}x{compatibility.shape[0]}"
-        )
-
-    if center:
-        priors = center_columns(explicit)
-        modulation = center_matrix(compatibility)
-    else:
-        priors = explicit
-        modulation = compatibility
-
-    if scaling is None:
-        centered_for_radius = center_matrix(compatibility) if not center else modulation
-        scaling = linbp_scaling(adjacency, centered_for_radius, safety=safety)
-    modulation = scaling * modulation
-
-    beliefs = priors.copy()
-    degrees = degree_vector(adjacency)
-    converged = False
-    iterations_run = 0
-    for iteration in range(n_iterations):
-        propagated = np.asarray(adjacency @ beliefs) @ modulation
-        if echo_cancellation:
-            # Echo cancellation subtracts each node's own (modulated) echo:
-            # F <- X + W F H - D F H^2 (linearized correction term).
-            propagated -= degrees[:, None] * (beliefs @ modulation @ modulation)
-        updated = priors + propagated
-        delta = float(np.max(np.abs(updated - beliefs))) if beliefs.size else 0.0
-        beliefs = updated
-        iterations_run = iteration + 1
-        if delta < tolerance:
-            converged = True
-            break
-
+    propagator = LinBPPropagator(
+        max_iterations=n_iterations,
+        tolerance=tolerance,
+        safety=safety,
+        center=center,
+        echo_cancellation=echo_cancellation,
+        scaling=scaling,
+    )
+    result = propagator.propagate(
+        adjacency, compatibility=compatibility, prior_beliefs=prior_beliefs
+    )
     return LinBPResult(
-        beliefs=beliefs,
-        labels=labels_from_one_hot(beliefs),
-        n_iterations=iterations_run,
-        scaling=float(scaling),
-        converged=converged,
+        beliefs=result.beliefs,
+        labels=result.labels,
+        n_iterations=result.n_iterations,
+        scaling=result.details["scaling"],
+        converged=result.converged,
     )
 
 
@@ -163,20 +234,13 @@ def propagate_and_label(
     ``seed_labels`` is a full-length vector with ``-1`` for unlabeled nodes.
     Seed nodes keep their given label in the output (they are never
     re-classified), matching the evaluation protocol of the paper which only
-    scores the remaining nodes.
+    scores the remaining nodes.  Extra ``kwargs`` are forwarded to
+    :class:`LinBPPropagator` (``center``, ``scaling``, ``tolerance``, ...).
     """
     if graph.n_classes is None:
         raise ValueError("graph must know its number of classes")
-    prior = one_hot_labels(seed_labels, graph.n_classes)
-    result = linbp(
-        graph.adjacency,
-        prior,
-        compatibility,
-        n_iterations=n_iterations,
-        safety=safety,
-        **kwargs,
+    propagator = LinBPPropagator(
+        max_iterations=n_iterations, safety=safety, **kwargs
     )
-    predicted = result.labels.copy()
-    seeded = seed_labels >= 0
-    predicted[seeded] = seed_labels[seeded]
-    return predicted
+    result = propagator.propagate(graph, seed_labels, compatibility=compatibility)
+    return result.labels

@@ -8,7 +8,10 @@ sides rely on:
 
 * the three normalization variants of the paper (Eq. 9, 10, 11),
 * the projection onto symmetric doubly-stochastic matrices used by MCE,
-* centering/residual helpers used by the LinBP analysis (Section 3.1).
+* centering/residual helpers used by the LinBP analysis (Section 3.1),
+* sparse adjacency normalizations (row / column / symmetric) shared by the
+  propagation algorithms and memoized per graph by
+  :class:`repro.graph.operators.GraphOperators`.
 """
 
 from __future__ import annotations
@@ -33,6 +36,9 @@ __all__ = [
     "degree_vector",
     "degree_matrix",
     "safe_reciprocal",
+    "row_normalized_adjacency",
+    "column_normalized_adjacency",
+    "symmetric_normalized_adjacency",
 ]
 
 
@@ -228,3 +234,35 @@ def degree_vector(adjacency) -> np.ndarray:
 def degree_matrix(adjacency) -> sp.csr_matrix:
     """Return the diagonal degree matrix ``D`` of the adjacency matrix."""
     return sp.diags(degree_vector(adjacency), format="csr")
+
+
+def row_normalized_adjacency(adjacency) -> sp.csr_matrix:
+    """Random-walk operator ``D^-1 W`` in CSR format.
+
+    Rows of isolated nodes (zero degree) stay all-zero instead of NaN.  This
+    is the operator behind harmonic-function propagation: one application
+    replaces each node's beliefs with the degree-weighted neighbor average.
+    """
+    adjacency = to_csr(adjacency)
+    inverse_degree = safe_reciprocal(degree_vector(adjacency))
+    return (sp.diags(inverse_degree, format="csr") @ adjacency).tocsr()
+
+
+def column_normalized_adjacency(adjacency) -> sp.csr_matrix:
+    """Column-stochastic operator ``W D^-1`` used by random walks (Eq. 3).
+
+    Columns of isolated nodes stay all-zero; the walk loses their mass, which
+    the restart term replenishes.
+    """
+    adjacency = to_csr(adjacency)
+    column_sums = np.asarray(adjacency.sum(axis=0)).ravel()
+    scale = sp.diags(safe_reciprocal(column_sums), format="csr")
+    return (adjacency @ scale).tocsr()
+
+
+def symmetric_normalized_adjacency(adjacency) -> sp.csr_matrix:
+    """Symmetric operator ``D^-1/2 W D^-1/2`` (LGC, Eq. 10 normalization)."""
+    adjacency = to_csr(adjacency)
+    inv_sqrt_degree = np.sqrt(safe_reciprocal(degree_vector(adjacency)))
+    normalizer = sp.diags(inv_sqrt_degree, format="csr")
+    return (normalizer @ adjacency @ normalizer).tocsr()

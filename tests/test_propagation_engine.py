@@ -1,0 +1,390 @@
+"""Tests for the unified propagation engine, registries and wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import homophily_compatibility, skew_compatibility
+from repro.core.estimators import GoldStandard
+from repro.eval.experiment import run_experiment
+from repro.eval.seeding import stratified_seed_indices
+from repro.propagation import (
+    ESTIMATORS,
+    PROPAGATORS,
+    LinBPPropagator,
+    PropagationResult,
+    Propagator,
+    beliefpropagation,
+    cocitation_classify,
+    fixed_point_iterate,
+    get_propagator,
+    harmonic_functions,
+    linbp,
+    local_global_consistency,
+    multi_rank_walk,
+    propagator_names,
+    register_propagator,
+)
+
+
+EXPECTED_PROPAGATORS = {
+    "linbp",
+    "linbp_echo",
+    "bp",
+    "harmonic",
+    "lgc",
+    "mrw",
+    "cocitation",
+}
+
+
+@pytest.fixture()
+def seeded(heterophily_graph):
+    seeds = stratified_seed_indices(
+        heterophily_graph.labels, fraction=0.1, rng=np.random.default_rng(0)
+    )
+    return seeds, heterophily_graph.partial_labels(seeds)
+
+
+class TestRegistries:
+    def test_all_seven_algorithms_registered(self):
+        assert EXPECTED_PROPAGATORS <= set(PROPAGATORS)
+
+    def test_propagator_names_sorted(self):
+        assert propagator_names() == sorted(PROPAGATORS)
+
+    def test_get_propagator_instantiates(self):
+        for name in PROPAGATORS:
+            instance = get_propagator(name)
+            assert isinstance(instance, Propagator)
+            assert instance.name == name
+
+    def test_get_propagator_unknown_name(self):
+        with pytest.raises(ValueError, match="registered"):
+            get_propagator("definitely-not-an-algorithm")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_propagator("linbp")(LinBPPropagator)
+
+    def test_estimators_registered_by_method_name(self):
+        assert {"GS", "LCE", "MCE", "DCE", "DCEr", "Holdout"} <= set(ESTIMATORS)
+
+    def test_registered_custom_propagator_usable(self, heterophily_graph, seeded):
+        @register_propagator("test-identity")
+        class IdentityPropagator(Propagator):
+            name = "test-identity"
+
+            def _run(self, operators, prior, seed_labels, n_classes, compatibility):
+                return self._dense(prior), 0, True, [], {}
+
+        try:
+            seeds, partial = seeded
+            result = get_propagator("test-identity").propagate(
+                heterophily_graph, partial
+            )
+            # Identity propagation labels exactly the seed nodes.
+            assert np.array_equal(
+                result.labels[seeds], heterophily_graph.labels[seeds]
+            )
+            assert np.all(result.labels[np.setdiff1d(
+                np.arange(heterophily_graph.n_nodes), seeds)] == -1)
+        finally:
+            PROPAGATORS.pop("test-identity")
+
+
+class TestRoundTripThroughRunExperiment:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PROPAGATORS))
+    def test_every_registered_name_round_trips(self, heterophily_graph, name):
+        result = run_experiment(
+            heterophily_graph,
+            GoldStandard(),
+            label_fraction=0.1,
+            seed=0,
+            propagator=name,
+        )
+        assert result.propagator == name
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.propagation_seconds >= 0.0
+
+    def test_propagator_instance_accepted(self, heterophily_graph):
+        engine = LinBPPropagator(max_iterations=5)
+        result = run_experiment(
+            heterophily_graph,
+            GoldStandard(),
+            label_fraction=0.1,
+            seed=0,
+            propagator=engine,
+        )
+        assert result.propagator == "linbp"
+
+    def test_propagator_kwargs_forwarded(self, heterophily_graph):
+        result = run_experiment(
+            heterophily_graph,
+            GoldStandard(),
+            label_fraction=0.1,
+            seed=0,
+            propagator="lgc",
+            propagator_kwargs={"alpha": 0.5},
+        )
+        assert result.propagator == "lgc"
+
+    def test_native_iteration_budget_preserved(self, homophily_graph):
+        # Harmonic's native cap is 100 sweeps; run_experiment must not force
+        # LinBP's 10 onto it (which silently returned unconverged baselines).
+        result = run_experiment(
+            homophily_graph,
+            GoldStandard(),
+            label_fraction=0.1,
+            seed=0,
+            propagator="harmonic",
+        )
+        assert result.propagation_converged or result.propagation_iterations == 100
+        assert result.propagation_iterations > 10
+
+    def test_iteration_override_still_applies(self, homophily_graph):
+        result = run_experiment(
+            homophily_graph,
+            GoldStandard(),
+            label_fraction=0.1,
+            seed=0,
+            propagator="harmonic",
+            n_propagation_iterations=3,
+        )
+        assert result.propagation_iterations <= 3
+
+    def test_instance_with_config_rejected(self, heterophily_graph):
+        with pytest.raises(ValueError, match="already an instance"):
+            run_experiment(
+                heterophily_graph,
+                GoldStandard(),
+                label_fraction=0.1,
+                seed=0,
+                propagator=LinBPPropagator(),
+                n_propagation_iterations=50,
+            )
+        with pytest.raises(ValueError, match="already an instance"):
+            run_experiment(
+                heterophily_graph,
+                GoldStandard(),
+                label_fraction=0.1,
+                seed=0,
+                propagator=LinBPPropagator(),
+                propagator_kwargs={"safety": 0.4},
+            )
+
+    def test_bp_tolerates_estimated_negative_entries(self, heterophily_graph):
+        # MCE's doubly-stochastic projection can emit small negative entries
+        # at sparse fractions; the engine-path BP clips instead of crashing.
+        from repro.core.estimators import MCE
+
+        result = run_experiment(
+            heterophily_graph,
+            MCE(),
+            label_fraction=0.03,
+            seed=0,
+            propagator="bp",
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_legacy_bp_still_rejects_negative_potential(self, triangle_graph):
+        with pytest.raises(ValueError, match="non-negative"):
+            beliefpropagation(
+                triangle_graph.adjacency,
+                triangle_graph.label_matrix(),
+                np.array([[0.5, -0.5, 1.0], [-0.5, 1.0, 0.5], [1.0, 0.5, -0.5]]),
+            )
+
+    def test_linbp_matches_legacy_default(self, heterophily_graph):
+        by_name = run_experiment(
+            heterophily_graph, GoldStandard(), label_fraction=0.1, seed=4
+        )
+        explicit = run_experiment(
+            heterophily_graph,
+            GoldStandard(),
+            label_fraction=0.1,
+            seed=4,
+            propagator="linbp",
+        )
+        assert by_name.accuracy == explicit.accuracy
+
+
+class TestBackwardsCompatibleWrappers:
+    """Old functional APIs return results identical to the new classes."""
+
+    def test_linbp_wrapper_equals_class(self, heterophily_graph, seeded):
+        seeds, partial = seeded
+        prior = heterophily_graph.partial_label_matrix(seeds)
+        compatibility = skew_compatibility(3, h=3.0)
+        legacy = linbp(heterophily_graph.adjacency, prior, compatibility)
+        modern = LinBPPropagator().propagate(
+            heterophily_graph, compatibility=compatibility, prior_beliefs=prior
+        )
+        np.testing.assert_array_equal(legacy.beliefs, modern.beliefs)
+        np.testing.assert_array_equal(legacy.labels, modern.labels)
+        assert legacy.scaling == pytest.approx(modern.details["scaling"])
+        assert legacy.n_iterations == modern.n_iterations
+
+    def test_harmonic_wrapper_equals_class(self, homophily_graph):
+        seeds = np.arange(0, homophily_graph.n_nodes, 7)
+        partial = homophily_graph.partial_labels(seeds)
+        legacy = harmonic_functions(homophily_graph.adjacency, partial, 3)
+        modern = get_propagator("harmonic").propagate(homophily_graph, partial)
+        np.testing.assert_array_equal(legacy, modern.labels)
+
+    def test_lgc_wrapper_equals_class(self, homophily_graph):
+        seeds = np.arange(0, homophily_graph.n_nodes, 7)
+        partial = homophily_graph.partial_labels(seeds)
+        legacy = local_global_consistency(homophily_graph.adjacency, partial, 3)
+        modern = get_propagator("lgc").propagate(homophily_graph, partial)
+        np.testing.assert_array_equal(legacy, modern.labels)
+
+    def test_mrw_wrapper_equals_class(self, homophily_graph):
+        seeds = np.arange(0, homophily_graph.n_nodes, 7)
+        partial = homophily_graph.partial_labels(seeds)
+        legacy = multi_rank_walk(homophily_graph.adjacency, partial, 3)
+        modern = get_propagator("mrw").propagate(homophily_graph, partial)
+        np.testing.assert_array_equal(legacy, modern.labels)
+
+    def test_cocitation_wrapper_equals_class(self, heterophily_graph, seeded):
+        seeds, partial = seeded
+        legacy = cocitation_classify(heterophily_graph.adjacency, partial, 3)
+        modern = get_propagator("cocitation").propagate(heterophily_graph, partial)
+        np.testing.assert_array_equal(legacy, modern.labels)
+
+    def test_bp_wrapper_equals_class(self, heterophily_graph, seeded):
+        seeds, partial = seeded
+        prior = heterophily_graph.partial_label_matrix(seeds)
+        compatibility = skew_compatibility(3, h=3.0)
+        legacy = beliefpropagation(
+            heterophily_graph.adjacency, prior, compatibility, n_iterations=5
+        )
+        modern = get_propagator("bp", max_iterations=5).propagate(
+            heterophily_graph, compatibility=compatibility, prior_beliefs=prior
+        )
+        np.testing.assert_array_equal(legacy.beliefs, modern.beliefs)
+        np.testing.assert_array_equal(legacy.labels, modern.labels)
+
+
+class TestPropagationResult:
+    def test_result_fields(self, heterophily_graph, seeded):
+        seeds, partial = seeded
+        result = get_propagator("linbp").propagate(
+            heterophily_graph, partial, compatibility=skew_compatibility(3, h=3.0)
+        )
+        assert isinstance(result, PropagationResult)
+        assert result.beliefs.shape == (heterophily_graph.n_nodes, 3)
+        assert result.labels.shape == (heterophily_graph.n_nodes,)
+        assert result.n_iterations == len(result.residuals)
+        assert result.elapsed_seconds >= 0.0
+        assert result.propagator == "linbp"
+        assert "scaling" in result.details
+
+    def test_residual_history_is_decreasing_overall(self, homophily_graph):
+        seeds = np.arange(0, homophily_graph.n_nodes, 5)
+        partial = homophily_graph.partial_labels(seeds)
+        result = get_propagator("lgc").propagate(homophily_graph, partial)
+        assert result.converged
+        assert result.residuals[-1] < result.residuals[0]
+        assert result.residuals[-1] < 1e-8
+
+    def test_seed_labels_clamped(self, heterophily_graph, seeded):
+        seeds, partial = seeded
+        for name in ("linbp", "harmonic", "lgc", "mrw", "cocitation"):
+            result = get_propagator(name).propagate(
+                heterophily_graph, partial,
+                compatibility=skew_compatibility(3, h=3.0),
+            )
+            np.testing.assert_array_equal(
+                result.labels[seeds], heterophily_graph.labels[seeds]
+            )
+
+    def test_missing_compatibility_rejected(self, heterophily_graph, seeded):
+        _, partial = seeded
+        with pytest.raises(ValueError, match="compatibility"):
+            get_propagator("linbp").propagate(heterophily_graph, partial)
+
+    def test_missing_seeds_and_priors_rejected(self, heterophily_graph):
+        with pytest.raises(ValueError, match="seed_labels or prior_beliefs"):
+            get_propagator("linbp").propagate(
+                heterophily_graph, compatibility=skew_compatibility(3)
+            )
+
+    def test_float32_iterates(self, heterophily_graph, seeded):
+        seeds, partial = seeded
+        compatibility = skew_compatibility(3, h=3.0)
+        single = LinBPPropagator(dtype=np.float32).propagate(
+            heterophily_graph, partial, compatibility=compatibility
+        )
+        double = LinBPPropagator().propagate(
+            heterophily_graph, partial, compatibility=compatibility
+        )
+        assert single.beliefs.dtype == np.float32
+        agreement = np.mean(single.labels == double.labels)
+        assert agreement > 0.99
+
+
+class TestFixedPointIterate:
+    def test_converges_on_linear_contraction(self):
+        target = np.array([2.0, -1.0])
+
+        def step(current, out):
+            np.multiply(current, 0.5, out=out)
+            out += 0.5 * target
+            return out
+
+        final, iterations, converged, residuals = fixed_point_iterate(
+            step, np.zeros(2), max_iterations=200, tolerance=1e-12
+        )
+        assert converged
+        np.testing.assert_allclose(final, target, atol=1e-10)
+        assert iterations == len(residuals)
+
+    def test_respects_iteration_cap(self):
+        def step(current, out):
+            np.add(current, 1.0, out=out)
+            return out
+
+        _, iterations, converged, _ = fixed_point_iterate(
+            step, np.zeros(3), max_iterations=7, tolerance=1e-12
+        )
+        assert iterations == 7
+        assert not converged
+
+    def test_adopts_freshly_allocated_arrays(self):
+        def step(current, out):
+            return current * 0.25
+
+        final, _, converged, _ = fixed_point_iterate(
+            step, np.ones(4), max_iterations=200, tolerance=1e-14
+        )
+        assert converged
+        np.testing.assert_allclose(final, 0.0, atol=1e-12)
+
+    def test_empty_iterate(self):
+        def step(current, out):
+            return out
+
+        final, iterations, converged, _ = fixed_point_iterate(
+            step, np.zeros((0, 3)), max_iterations=5, tolerance=1e-8
+        )
+        assert converged
+        assert iterations == 1
+        assert final.shape == (0, 3)
+
+
+class TestSweepPropagatorPassthrough:
+    def test_sweep_with_alternate_propagator(self, homophily_graph):
+        from repro.eval.sweeps import sweep_label_sparsity
+
+        result = sweep_label_sparsity(
+            homophily_graph,
+            {"GS": GoldStandard()},
+            fractions=[0.1],
+            n_repetitions=1,
+            seed=0,
+            propagator="harmonic",
+        )
+        assert len(result.records) == 1
+        assert result.records[0].propagator == "harmonic"
