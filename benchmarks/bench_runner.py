@@ -1,0 +1,132 @@
+"""Micro-benchmark: runner fan-out and cache-replay on a small grid.
+
+Measures three executions of the same grid (graphs x {MCE, DCEr} x two
+label fractions x repetitions):
+
+* **serial** — ``n_workers=1``, the baseline the sweeps historically ran at;
+* **parallel** — ``n_workers=N`` over a fresh store, same grid (on a
+  multi-core machine this is the fan-out speedup; the result payloads are
+  asserted bitwise-equal to the serial run);
+* **cached replay** — the parallel store re-executed, which must touch zero
+  runs and is therefore a pure measure of store/hashing overhead.
+
+Writes ``BENCH_runner.json`` next to the repository root (or to
+``--output``), extending the performance trajectory started by
+``bench_propagation.py``.
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_runner.py
+    PYTHONPATH=src python benchmarks/bench_runner.py --edges 20000 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runner import GridSpec, ResultStore, execute_grid
+
+
+def build_grid(n_nodes: int, n_edges: int, n_repetitions: int) -> GridSpec:
+    return GridSpec(
+        name="bench-runner",
+        graphs=[
+            {
+                "kind": "generate",
+                "name": f"bench-{seed}",
+                "n_nodes": n_nodes,
+                "n_edges": n_edges,
+                "n_classes": 3,
+                "h": 3.0,
+                "seed": seed,
+            }
+            for seed in (1, 2)
+        ],
+        estimators=["MCE", {"name": "DCEr", "kwargs": {"n_restarts": 5, "seed": 0}}],
+        label_fractions=[0.05, 0.1],
+        n_repetitions=n_repetitions,
+        base_seed=3,
+    )
+
+
+def bench_runner(n_nodes: int, n_edges: int, n_repetitions: int, n_workers: int) -> dict:
+    grid = build_grid(n_nodes, n_edges, n_repetitions)
+    results: dict = {
+        "grid": {
+            "n_runs": grid.n_runs,
+            "n_graphs": len(grid.graphs),
+            "n_nodes": n_nodes,
+            "n_edges": n_edges,
+            "n_repetitions": n_repetitions,
+        },
+        "n_workers": n_workers,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench-runner-") as tmp:
+        serial_store = ResultStore(Path(tmp) / "serial")
+        start = time.perf_counter()
+        serial = execute_grid(grid, store=serial_store, n_workers=1)
+        serial_seconds = time.perf_counter() - start
+
+        parallel_store = ResultStore(Path(tmp) / "parallel")
+        start = time.perf_counter()
+        parallel = execute_grid(grid, store=parallel_store, n_workers=n_workers)
+        parallel_seconds = time.perf_counter() - start
+
+        mismatches = sum(
+            1
+            for a, b in zip(serial.outcomes, parallel.outcomes)
+            if a.result != b.result
+        )
+
+        start = time.perf_counter()
+        replay = execute_grid(grid, store=parallel_store, n_workers=n_workers)
+        replay_seconds = time.perf_counter() - start
+
+    results.update(
+        {
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "parallel_speedup": serial_seconds / max(parallel_seconds, 1e-12),
+            "parallel_serial_mismatches": mismatches,
+            "cached_replay_seconds": replay_seconds,
+            "cached_replay_hits": replay.n_cached,
+            "cached_replay_executed": replay.n_executed,
+            "replay_speedup": serial_seconds / max(replay_seconds, 1e-12),
+        }
+    )
+    print(
+        f"{grid.n_runs} runs: serial {serial_seconds:.2f}s, "
+        f"parallel({n_workers}) {parallel_seconds:.2f}s "
+        f"({results['parallel_speedup']:.2f}x, {mismatches} mismatches), "
+        f"cached replay {replay_seconds*1e3:.1f} ms "
+        f"({replay.n_cached}/{grid.n_runs} hits)"
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=2_000)
+    parser.add_argument("--edges", type=int, default=10_000)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_runner.json"),
+    )
+    args = parser.parse_args(argv)
+
+    results = bench_runner(args.nodes, args.edges, args.repetitions, args.workers)
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2), encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

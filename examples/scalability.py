@@ -1,12 +1,15 @@
 """Scalability demo: estimation is cheaper than propagation as graphs grow.
 
-Reproduces the spirit of the paper's Fig. 3b on your machine: for graphs of
-increasing size (same average degree d=5, strong heterophily h=8), measure
-
-  * DCEr compatibility estimation time,
-  * one LinBP labeling pass (10 iterations),
-  * the Holdout baseline (only on the smaller graphs — it quickly becomes
-    impractically slow, which is exactly the point).
+Reproduces the spirit of the paper's Fig. 3b on your machine — now driven by
+the ``repro.runner`` subsystem: the whole measurement is declared as a list
+of :class:`~repro.runner.spec.RunSpec` points (graphs of increasing size,
+same average degree d=5, strong heterophily h=8; MCE and DCEr everywhere,
+the Holdout baseline only on the smaller graphs, where it is merely slow
+instead of impractical).  The runner fans the points out over worker
+processes and records everything in a content-addressed result store, from
+which the table below is read back.  Executing the same grid a second time
+demonstrates skip-if-cached resume: every point is a cache hit and nothing
+re-runs.
 
 Run with:  python examples/scalability.py            (up to ~128k edges)
            python examples/scalability.py 1000000    (custom max edge count)
@@ -15,50 +18,114 @@ Run with:  python examples/scalability.py            (up to ~128k edges)
 from __future__ import annotations
 
 import sys
+import tempfile
 
-from repro import DCEr, skew_compatibility
-from repro.core.estimators import HoldoutEstimator, MCE
-from repro.eval.timing import time_estimation, time_propagation
-from repro.graph.generator import generate_graph
+from repro.runner import GridSpec, ResultStore, execute_grid
 
 HOLDOUT_LIMIT = 10_000  # edges beyond which we skip the Holdout baseline
+N_WORKERS = 2
+
+
+def graph_config(n_edges: int) -> dict:
+    """One grid graph entry: average degree 5, heterophily h=8."""
+    return {
+        "kind": "generate",
+        "name": f"m={n_edges}",
+        "n_nodes": max(200, int(n_edges / 2.5)),
+        "n_edges": n_edges,
+        "n_classes": 3,
+        "h": 8.0,
+        "seed": n_edges,
+    }
+
+
+def build_runs(edge_counts: list[int]) -> list:
+    """Expand the fast estimators everywhere, Holdout only on small graphs."""
+    fast = GridSpec(
+        name="scalability",
+        graphs=[graph_config(m) for m in edge_counts],
+        estimators=["MCE", {"name": "DCEr", "kwargs": {"n_restarts": 10, "seed": 0}}],
+        label_fractions=[0.05],
+        base_seed=1,
+    )
+    runs = fast.expand()
+    small = [m for m in edge_counts if m <= HOLDOUT_LIMIT]
+    if small:
+        holdout = GridSpec(
+            name="scalability-holdout",
+            graphs=[graph_config(m) for m in small],
+            estimators=[
+                {"name": "Holdout", "kwargs": {"seed": 0, "max_evaluations": 60}}
+            ],
+            label_fractions=[0.05],
+            base_seed=1,
+        )
+        runs += holdout.expand()
+    return runs
+
+
+def timing_seconds(outcomes, graph_name: str, method: str, key: str) -> float | None:
+    """Timing of the first successful (graph, method) run; None when it failed."""
+    for outcome in outcomes:
+        if (
+            outcome.ok
+            and outcome.spec.graph["name"] == graph_name
+            and outcome.result["method"] == method
+        ):
+            return outcome.timing.get(key)
+    return None
+
+
+def cell(seconds: float | None, width: int, placeholder: str = "(failed)") -> str:
+    return f"{seconds:>{width}.3f}" if seconds is not None else f"{placeholder:>{width}}"
 
 
 def main(max_edges: int) -> None:
-    compatibility = skew_compatibility(3, h=8.0)
     edge_counts = []
     edges = 2_000
     while edges <= max_edges:
         edge_counts.append(edges)
         edges *= 4
 
-    print(f"{'edges':>10} {'MCE [s]':>10} {'DCEr [s]':>10} "
-          f"{'propagation [s]':>16} {'Holdout [s]':>12}")
-    for n_edges in edge_counts:
-        n_nodes = max(200, int(n_edges / 2.5))  # average degree 5
-        graph = generate_graph(
-            n_nodes, n_edges, compatibility, seed=n_edges, name=f"m={n_edges}"
-        )
-        mce_seconds = time_estimation(graph, MCE(), 0.05, seed=1).seconds
-        dcer_seconds = time_estimation(
-            graph, DCEr(n_restarts=10, seed=0), 0.05, seed=1
-        ).seconds
-        propagation_seconds = time_propagation(graph, compatibility, 0.05, seed=1).seconds
-        if n_edges <= HOLDOUT_LIMIT:
-            holdout_seconds = time_estimation(
-                graph, HoldoutEstimator(seed=0, max_evaluations=60), 0.05, seed=1
-            ).seconds
-            holdout_text = f"{holdout_seconds:>12.2f}"
-        else:
-            holdout_text = f"{'(skipped)':>12}"
-        print(
-            f"{graph.n_edges:>10,} {mce_seconds:>10.3f} {dcer_seconds:>10.3f} "
-            f"{propagation_seconds:>16.3f} {holdout_text}"
-        )
+    runs = build_runs(edge_counts)
+    with tempfile.TemporaryDirectory(prefix="scalability-store-") as store_dir:
+        store = ResultStore(store_dir)
+        report = execute_grid(runs, store=store, n_workers=N_WORKERS)
+        print(f"executed {report.n_executed} runs on {report.n_workers} workers "
+              f"in {report.elapsed_seconds:.1f}s "
+              f"({report.n_errors} failed)\n")
+
+        print(f"{'edges':>10} {'MCE [s]':>10} {'DCEr [s]':>10} "
+              f"{'propagation [s]':>16} {'Holdout [s]':>12}")
+        for n_edges in edge_counts:
+            name = f"m={n_edges}"
+            mce = timing_seconds(report.outcomes, name, "MCE", "estimation_seconds")
+            dcer = timing_seconds(report.outcomes, name, "DCEr", "estimation_seconds")
+            propagation = timing_seconds(
+                report.outcomes, name, "DCEr", "propagation_seconds"
+            )
+            holdout = timing_seconds(
+                report.outcomes, name, "Holdout", "estimation_seconds"
+            )
+            holdout_text = (
+                cell(holdout, 12) if n_edges <= HOLDOUT_LIMIT
+                else f"{'(skipped)':>12}"
+            )
+            print(
+                f"{n_edges:>10,} {cell(mce, 10)} {cell(dcer, 10)} "
+                f"{cell(propagation, 16)} {holdout_text}"
+            )
+
+        # Same grid again, same store: everything is served from cache.
+        replay = execute_grid(runs, store=store, n_workers=N_WORKERS)
+        print(f"\nre-run against the store: {replay.n_cached}/{replay.n_total} "
+              f"cache hits, {replay.n_executed} re-executed "
+              f"(in {replay.elapsed_seconds:.2f}s)")
 
     print("\nTakeaway: the factorized estimators stay in the same ballpark as a"
           "\nsingle propagation pass (and become relatively cheaper as m grows),"
-          "\nwhile the Holdout baseline is orders of magnitude more expensive.")
+          "\nwhile the Holdout baseline is orders of magnitude more expensive —"
+          "\nand a content-addressed store makes repeating the whole figure free.")
 
 
 if __name__ == "__main__":

@@ -58,15 +58,25 @@ from repro.propagation.engine import (
 )
 from repro.propagation.linbp import linbp, propagate_and_label
 
-__version__ = "1.1.0"
+from repro.runner import (
+    ExecutionReport,
+    GridSpec,
+    ResultStore,
+    RunSpec,
+    execute_grid,
+)
+
+__version__ = "1.2.0"
 
 __all__ = [
     "DCE",
     "DCEr",
     "ESTIMATORS",
+    "ExecutionReport",
     "GoldStandard",
     "Graph",
     "GraphOperators",
+    "GridSpec",
     "HeuristicEstimator",
     "HoldoutEstimator",
     "LCE",
@@ -74,10 +84,13 @@ __all__ = [
     "PROPAGATORS",
     "PropagationResult",
     "Propagator",
+    "ResultStore",
+    "RunSpec",
     "__version__",
     "accuracy",
     "compatibility_l2",
     "dataset_names",
+    "execute_grid",
     "generate_graph",
     "get_estimator",
     "get_propagator",

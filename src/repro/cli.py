@@ -1,12 +1,15 @@
 """Command-line interface for the library.
 
-Five subcommands cover the end-to-end workflow without writing Python:
+Eight subcommands cover the end-to-end workflow without writing Python:
 
 * ``repro generate``   — create a synthetic graph with planted compatibilities
 * ``repro dataset``    — build one of the real-world dataset stand-ins
 * ``repro summary``    — print structural statistics of a stored graph
 * ``repro estimate``   — estimate the compatibility matrix from sparse labels
 * ``repro experiment`` — run the full estimate-then-propagate experiment
+* ``repro run``        — execute a grid spec through the parallel runner
+* ``repro report``     — summarize a runner result store as a table
+* ``repro list``       — print the registered propagators and estimators
 
 Graphs are exchanged as ``.npz`` bundles (see :mod:`repro.graph.io`).
 
@@ -16,17 +19,23 @@ Examples
     repro estimate graph.npz --method DCEr --fraction 0.01
     repro experiment graph.npz --method DCEr --fraction 0.01 --json result.json
     repro experiment graph.npz --method DCEr --propagator harmonic
+    repro run grid.json --store runs/grid --workers 4
+    repro report runs/grid
 
-The ``--propagator`` choices come from the ``PROPAGATORS`` registry of
-:mod:`repro.propagation.engine`, so registering a new algorithm makes it
-available here without touching this module.
+``--propagator`` and ``--method`` values are validated against the
+``PROPAGATORS``/``ESTIMATORS`` registries of :mod:`repro.propagation.engine`
+at execution time, so registering a new algorithm makes it available here
+without touching this module; an unknown name (or a missing graph file)
+exits with a one-line error listing the valid choices, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -39,9 +48,26 @@ from repro.graph.features import graph_summary
 from repro.graph.generator import generate_graph
 from repro.graph.io import load_graph_npz, save_graph_npz
 from repro.core.compatibility import homophily_compatibility, skew_compatibility
-from repro.propagation.engine import propagator_names
+from repro.propagation.engine import (
+    ESTIMATORS as ESTIMATOR_REGISTRY,
+    PROPAGATORS,
+    propagator_names,
+)
+from repro.runner import (
+    GridSpec,
+    ProgressPrinter,
+    ResultStore,
+    execute_grid,
+    render_store_report,
+    summarize_report,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CLIError"]
+
+
+class CLIError(Exception):
+    """A user-facing CLI failure: printed as one clean line, exit code 2."""
+
 
 # Per-method constructor shims: map parsed CLI arguments onto the estimator
 # constructors (all of these classes are also in the ESTIMATORS registry of
@@ -101,16 +127,46 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--iterations", type=int, default=None,
                             help="propagation iteration cap (default: the "
                                  "selected propagator's native budget)")
-    experiment.add_argument("--propagator", choices=propagator_names(),
-                            default="linbp",
-                            help="propagation algorithm for the final labeling")
+    experiment.add_argument("--propagator", default="linbp",
+                            help="propagation algorithm for the final labeling "
+                                 "(see `repro list`)")
     experiment.add_argument("--json", help="write the result record to this JSON file")
+
+    run = subparsers.add_parser(
+        "run", help="execute a grid spec through the parallel runner"
+    )
+    run.add_argument("spec", help="grid spec JSON file (see `repro.runner.GridSpec`)")
+    run.add_argument("--store", default=None,
+                     help="result store directory (default: runs/<spec name>)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: CPU count, at most 4)")
+    run.add_argument("--serial", action="store_true",
+                     help="run in-process instead of the worker pool")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-run wall-clock budget in seconds")
+    run.add_argument("--force", action="store_true",
+                     help="re-execute runs even when the store has a result")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-run progress lines")
+
+    report = subparsers.add_parser(
+        "report", help="summarize a runner result store as a table"
+    )
+    report.add_argument("store", help="result store directory written by `repro run`")
+    report.add_argument("--metric", default="accuracy",
+                        choices=["accuracy", "l2_to_gold", "estimation_seconds",
+                                 "propagation_seconds"])
+
+    subparsers.add_parser(
+        "list", help="print the registered propagators and estimators"
+    )
     return parser
 
 
 def _add_estimation_arguments(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("graph", help="input .npz path")
-    subparser.add_argument("--method", choices=sorted(ESTIMATORS), default="DCEr")
+    subparser.add_argument("--method", default="DCEr",
+                           help="estimator name (see `repro list`)")
     subparser.add_argument("--fraction", type=float, default=0.01,
                            help="fraction of labels revealed as seeds")
     subparser.add_argument("--max-length", type=int, default=5, dest="max_length")
@@ -120,6 +176,38 @@ def _add_estimation_arguments(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--seed", type=int, default=0)
 
 
+# ------------------------------------------------------------------ resolvers
+def _resolve_estimator(args: argparse.Namespace):
+    """Build the selected estimator or fail with the valid names listed."""
+    if args.method not in ESTIMATORS:
+        raise CLIError(
+            f"unknown estimator {args.method!r}; valid methods: "
+            f"{', '.join(sorted(ESTIMATORS))}"
+        )
+    return ESTIMATORS[args.method](args)
+
+
+def _check_propagator(name: str) -> str:
+    if name not in PROPAGATORS:
+        raise CLIError(
+            f"unknown propagator {name!r}; valid propagators: "
+            f"{', '.join(propagator_names())}"
+        )
+    return name
+
+
+def _load_graph(path) -> "object":
+    """Load a graph bundle or fail with a clean one-line error."""
+    path = Path(path)
+    if not path.exists():
+        raise CLIError(f"graph file not found: {path}")
+    try:
+        return load_graph_npz(path)
+    except Exception as exc:
+        raise CLIError(f"could not read graph file {path}: {exc}") from exc
+
+
+# ------------------------------------------------------------------- commands
 def _command_generate(args: argparse.Namespace) -> int:
     if args.homophily:
         compatibility = homophily_compatibility(args.classes, h=args.skew)
@@ -147,7 +235,7 @@ def _command_dataset(args: argparse.Namespace) -> int:
 
 
 def _command_summary(args: argparse.Namespace) -> int:
-    graph = load_graph_npz(args.graph)
+    graph = _load_graph(args.graph)
     summary = graph_summary(graph)
     for key, value in summary.items():
         if isinstance(value, float):
@@ -158,11 +246,11 @@ def _command_summary(args: argparse.Namespace) -> int:
 
 
 def _command_estimate(args: argparse.Namespace) -> int:
-    graph = load_graph_npz(args.graph)
+    estimator = _resolve_estimator(args)
+    graph = _load_graph(args.graph)
     seed_labels = stratified_seed_labels(
         graph.require_labels(), fraction=args.fraction, rng=args.seed
     )
-    estimator = ESTIMATORS[args.method](args)
     result = estimator.fit(graph, seed_labels)
     print(f"method: {result.method}")
     print(f"estimation time: {result.elapsed_seconds:.3f}s")
@@ -173,8 +261,9 @@ def _command_estimate(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    graph = load_graph_npz(args.graph)
-    estimator = ESTIMATORS[args.method](args)
+    estimator = _resolve_estimator(args)
+    _check_propagator(args.propagator)
+    graph = _load_graph(args.graph)
     result = run_experiment(
         graph,
         estimator,
@@ -199,12 +288,82 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run(args: argparse.Namespace) -> int:
+    spec_path = Path(args.spec)
+    if not spec_path.exists():
+        raise CLIError(f"grid spec file not found: {spec_path}")
+    try:
+        grid = GridSpec.from_json(spec_path)
+    except (OSError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise CLIError(f"invalid grid spec {spec_path}: {exc}") from exc
+
+    store_dir = args.store or os.path.join("runs", grid.name)
+    store = ResultStore(store_dir)
+    if args.serial:
+        n_workers = 1
+    elif args.workers is not None:
+        if args.workers < 1:
+            raise CLIError("--workers must be >= 1")
+        n_workers = args.workers
+    else:
+        n_workers = min(4, os.cpu_count() or 1)
+
+    print(f"grid {grid.name!r}: {grid.n_runs} runs -> {store.directory} "
+          f"({n_workers} worker{'s' if n_workers != 1 else ''})")
+    progress = ProgressPrinter(grid.n_runs, enabled=not args.quiet)
+    report = execute_grid(
+        grid,
+        store=store,
+        n_workers=n_workers,
+        timeout=args.timeout,
+        force=args.force,
+        progress=progress,
+    )
+    print(summarize_report(report))
+    print(f"store: {store.results_path} ({len(store)} records), "
+          f"manifest: {store.manifest_path}")
+    return 1 if report.n_errors else 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    store_dir = Path(args.store)
+    if not store_dir.is_dir():
+        raise CLIError(f"result store directory not found: {store_dir}")
+    store = ResultStore(store_dir)
+    if len(store) == 0:
+        raise CLIError(f"result store {store_dir} is empty")
+    print(render_store_report(store, metric=args.metric))
+    return 0
+
+
+def _first_docstring_line(obj) -> str:
+    docstring = (obj.__doc__ or "").strip()
+    return docstring.splitlines()[0] if docstring else "(no docstring)"
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    width = max(
+        (len(name) for name in list(PROPAGATORS) + list(ESTIMATOR_REGISTRY)),
+        default=0,
+    )
+    print("propagators:")
+    for name in sorted(PROPAGATORS):
+        print(f"  {name:<{width}}  {_first_docstring_line(PROPAGATORS[name])}")
+    print("estimators:")
+    for name in sorted(ESTIMATOR_REGISTRY):
+        print(f"  {name:<{width}}  {_first_docstring_line(ESTIMATOR_REGISTRY[name])}")
+    return 0
+
+
 COMMANDS = {
     "generate": _command_generate,
     "dataset": _command_dataset,
     "summary": _command_summary,
     "estimate": _command_estimate,
     "experiment": _command_experiment,
+    "run": _command_run,
+    "report": _command_report,
+    "list": _command_list,
 }
 
 
@@ -212,7 +371,11 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except CLIError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

@@ -27,22 +27,37 @@ __all__ = [
 ]
 
 
-def sweep_to_markdown(sweep: SweepResult, metric: str = "accuracy", digits: int = 4) -> str:
+def sweep_to_markdown(
+    sweep: SweepResult,
+    metric: str = "accuracy",
+    digits: int = 4,
+    show_repetitions: bool = False,
+) -> str:
     """Render a sweep as a GitHub-flavoured Markdown table.
 
     Rows are the swept parameter values, columns the estimator names, cells
-    the mean of ``metric`` over repetitions.
+    the mean of ``metric`` over repetitions.  With ``show_repetitions`` each
+    cell is annotated with the number of aggregated runs (``n=...``), so
+    cells backed by fewer repetitions — e.g. failed runs dropped from a
+    result store — are visible.
     """
     header = [sweep.parameter_name] + list(sweep.methods)
     lines = [
         "| " + " | ".join(header) + " |",
         "|" + "|".join(["---"] * len(header)) + "|",
     ]
+    repetitions = sweep.n_repetitions if show_repetitions else {}
     for index, value in enumerate(sweep.parameter_values):
         cells = [str(value)]
         for method in sweep.methods:
             series_value = sweep.series(method, metric)[index]
-            cells.append("" if np.isnan(series_value) else f"{series_value:.{digits}f}")
+            if np.isnan(series_value):
+                cells.append("")
+                continue
+            cell = f"{series_value:.{digits}f}"
+            if show_repetitions:
+                cell += f" (n={repetitions.get((method, value), 0)})"
+            cells.append(cell)
         lines.append("| " + " | ".join(cells) + " |")
     return "\n".join(lines)
 

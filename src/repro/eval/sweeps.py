@@ -12,6 +12,12 @@ through the exact same sweep machinery.  Because every point reuses the same
 :class:`~repro.graph.graph.Graph`, its cached operator layer makes the
 per-point propagation setup (normalizations, spectral radius) free after the
 first call.
+
+Execution goes through the runner subsystem's batch executor
+(:func:`repro.runner.executor.run_experiment_batches`): ``n_workers=1`` (the
+default) preserves the historical serial in-process behaviour exactly —
+same task order, same RNG stream, same records — while ``n_workers > 1``
+fans the points out over worker processes.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.core.estimators.base import BaseEstimator
-from repro.eval.experiment import ExperimentResult, run_experiment
+from repro.eval.experiment import ExperimentResult
 from repro.graph.graph import Graph
 from repro.utils.rng import ensure_rng
 
@@ -42,20 +48,35 @@ class SweepResult:
     parameter_values: list
     methods: list[str]
     records: list[ExperimentResult] = field(default_factory=list)
+    # Grouping cache: records bucketed by (method, parameter_value) once and
+    # reused by every metric.  Invalidation compares record identities, so
+    # appending, replacing or removing records rebuilds the buckets; only
+    # mutating an existing record's attributes in place goes unnoticed.
+    _groups: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _groups_token: tuple = field(default=(), init=False, repr=False, compare=False)
+
+    def _grouped(self) -> dict[tuple, list[ExperimentResult]]:
+        token = tuple(id(record) for record in self.records)
+        if token != self._groups_token:
+            groups: dict[tuple, list[ExperimentResult]] = {}
+            for record in self.records:
+                key = (record.method, getattr(record, "parameter_value"))
+                groups.setdefault(key, []).append(record)
+            self._groups = groups
+            self._groups_token = token
+        return self._groups
 
     def _aggregate(self, attribute: str) -> dict:
-        buckets: dict[tuple, list[float]] = {}
-        for record in self.records:
-            key = (record.method, getattr(record, "parameter_value"))
-            buckets.setdefault(key, []).append(getattr(record, attribute))
-        return {key: float(np.mean(values)) for key, values in buckets.items()}
+        return {
+            key: float(np.mean([getattr(record, attribute) for record in records]))
+            for key, records in self._grouped().items()
+        }
 
     def _aggregate_std(self, attribute: str) -> dict:
-        buckets: dict[tuple, list[float]] = {}
-        for record in self.records:
-            key = (record.method, getattr(record, "parameter_value"))
-            buckets.setdefault(key, []).append(getattr(record, attribute))
-        return {key: float(np.std(values)) for key, values in buckets.items()}
+        return {
+            key: float(np.std([getattr(record, attribute) for record in records]))
+            for key, records in self._grouped().items()
+        }
 
     @property
     def mean_accuracy(self) -> dict:
@@ -76,6 +97,15 @@ class SweepResult:
     def mean_estimation_seconds(self) -> dict:
         """Mean estimation wall-clock time per key."""
         return self._aggregate("estimation_seconds")
+
+    @property
+    def n_repetitions(self) -> dict:
+        """Number of aggregated runs per ``(method, parameter_value)`` cell.
+
+        Reports show this next to each mean so a cell backed by fewer
+        repetitions (e.g. failed runs dropped from a store) is visible.
+        """
+        return {key: len(records) for key, records in self._grouped().items()}
 
     def series(self, method: str, metric: str = "accuracy") -> list[float]:
         """Return the metric of ``method`` in parameter order (a plot line)."""
@@ -111,6 +141,7 @@ def sweep_label_sparsity(
     n_repetitions: int = 3,
     seed=None,
     propagator: str = "linbp",
+    n_workers: int = 1,
     **experiment_kwargs,
 ) -> SweepResult:
     """Accuracy (and friends) as a function of the label fraction ``f``.
@@ -118,28 +149,41 @@ def sweep_label_sparsity(
     This is the workhorse behind Fig. 3a, Fig. 6j, Fig. 7a-h: every estimator
     is evaluated on the same seed sets (same RNG stream per repetition) so
     the comparison is paired.  ``propagator`` selects any registered
-    propagation algorithm for the labeling step.
+    propagation algorithm for the labeling step; ``n_workers > 1`` fans the
+    sweep points out over worker processes (results are identical to the
+    serial run — every point's seed is fixed before execution starts).
     """
+    # Imported here (not at module level): the runner's reporting layer
+    # imports this module, so a top-level import would be circular.
+    from repro.runner.executor import chunk_evenly, run_experiment_batches
+
     rng = ensure_rng(seed)
     result = SweepResult(
         parameter_name="label_fraction",
         parameter_values=list(fractions),
         methods=list(estimators.keys()),
     )
+    tasks: list[dict] = []
+    values: list = []
     for fraction in fractions:
-        for repetition in range(n_repetitions):
+        for _ in range(n_repetitions):
             repetition_seed = int(rng.integers(0, 2**32 - 1))
             for name, estimator in estimators.items():
-                record = run_experiment(
-                    graph,
-                    estimator,
-                    label_fraction=fraction,
-                    seed=repetition_seed,
-                    propagator=propagator,
-                    **experiment_kwargs,
+                tasks.append(
+                    {
+                        "index": len(tasks),
+                        "method": name,
+                        "estimator": estimator,
+                        "label_fraction": fraction,
+                        "seed": repetition_seed,
+                        "kwargs": {"propagator": propagator, **experiment_kwargs},
+                    }
                 )
-                record.method = name
-                result.records.append(_attach_parameter(record, fraction))
+                values.append(fraction)
+    batches = [(graph, chunk) for chunk in chunk_evenly(tasks, n_workers)]
+    records = run_experiment_batches(batches, n_workers=n_workers)
+    for record, value in zip(records, values):
+        result.records.append(_attach_parameter(record, value))
     return result
 
 
@@ -152,6 +196,7 @@ def sweep_parameter(
     n_repetitions: int = 3,
     seed=None,
     propagator: str = "linbp",
+    n_workers: int = 1,
     **experiment_kwargs,
 ) -> SweepResult:
     """Generic sweep over an arbitrary parameter (number of classes, degree, ...).
@@ -160,7 +205,14 @@ def sweep_parameter(
     ``estimator_factory(value)`` the estimators, so sweeps can vary anything
     from ``k`` (Fig. 6g/6l) to the restart count (Fig. 6h).  ``propagator``
     selects any registered propagation algorithm for the labeling step.
+    With ``n_workers > 1`` the parameter values execute in parallel (one
+    worker batch per value, each building its graph exactly once) — every
+    graph must then be alive at once to ship to the workers, so very large
+    graph sweeps should stick with the serial path, which builds and
+    releases one graph at a time.
     """
+    from repro.runner.executor import run_experiment_batches
+
     rng = ensure_rng(seed)
     first_estimators = estimator_factory(parameter_values[0])
     result = SweepResult(
@@ -168,20 +220,39 @@ def sweep_parameter(
         parameter_values=list(parameter_values),
         methods=list(first_estimators.keys()),
     )
+    per_value_tasks: list[tuple[object, list[dict]]] = []
+    values: list = []
+    index = 0
     for value in parameter_values:
-        graph = graph_factory(value)
         estimators = estimator_factory(value)
-        for repetition in range(n_repetitions):
+        batch_tasks: list[dict] = []
+        for _ in range(n_repetitions):
             repetition_seed = int(rng.integers(0, 2**32 - 1))
             for name, estimator in estimators.items():
-                record = run_experiment(
-                    graph,
-                    estimator,
-                    label_fraction=label_fraction,
-                    seed=repetition_seed,
-                    propagator=propagator,
-                    **experiment_kwargs,
+                batch_tasks.append(
+                    {
+                        "index": index,
+                        "method": name,
+                        "estimator": estimator,
+                        "label_fraction": label_fraction,
+                        "seed": repetition_seed,
+                        "kwargs": {"propagator": propagator, **experiment_kwargs},
+                    }
                 )
-                record.method = name
-                result.records.append(_attach_parameter(record, value))
+                values.append(value)
+                index += 1
+        per_value_tasks.append((value, batch_tasks))
+    if n_workers > 1:
+        batches = [
+            (graph_factory(value), tasks) for value, tasks in per_value_tasks
+        ]
+        records = run_experiment_batches(batches, n_workers=n_workers)
+    else:
+        records = []
+        for value, tasks in per_value_tasks:
+            records.extend(
+                run_experiment_batches([(graph_factory(value), tasks)], n_workers=1)
+            )
+    for record, value in zip(records, values):
+        result.records.append(_attach_parameter(record, value))
     return result

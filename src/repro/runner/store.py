@@ -1,0 +1,146 @@
+"""Content-addressed on-disk result store: append-only JSONL plus manifest.
+
+One store directory holds the results of any number of grid executions:
+
+* ``results.jsonl`` — one JSON record per completed run, appended as runs
+  finish.  Each record carries the run's content hash, its full spec, the
+  deterministic result payload, and the non-deterministic extras (timings,
+  worker pid) kept separate so two executions of the same spec produce
+  byte-identical ``result`` payloads.
+* ``manifest.json`` — a small index written after every execution: record
+  count, status tally, and one summary line per hash.  CI uploads this file
+  as a build artifact; humans read it to see what a store contains without
+  parsing the JSONL.
+
+The store is the cache behind skip-if-cached resume: the executor asks
+:meth:`ResultStore.__contains__` for every expanded run hash and only
+executes the misses.  Records are keyed purely by the spec hash, so a store
+can be shared between grids, machines, or future distributed shards — append
+order carries no meaning.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["ResultStore", "RESULTS_FILENAME", "MANIFEST_FILENAME"]
+
+RESULTS_FILENAME = "results.jsonl"
+MANIFEST_FILENAME = "manifest.json"
+STORE_VERSION = 1
+
+
+class ResultStore:
+    """Directory-backed map from run content hash to result record.
+
+    Opening a store re-reads ``results.jsonl`` into an in-memory index;
+    appends go straight to disk (line-buffered, one fsync-free write per
+    record) and update the index.  A record written twice for the same hash
+    keeps the latest version in the index — re-running with ``--force``
+    simply shadows the old line.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.directory / RESULTS_FILENAME
+        self.manifest_path = self.directory / MANIFEST_FILENAME
+        self._index: dict[str, dict] = {}
+        self._load()
+
+    # ----------------------------------------------------------------- load
+    def _load(self) -> None:
+        if not self.results_path.exists():
+            return
+        with self.results_path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A truncated trailing line (killed run) must not brick
+                    # the store; everything before it is still valid.
+                    continue
+                key = record.get("hash")
+                if key:
+                    self._index[key] = record
+
+    # ------------------------------------------------------------ dict-like
+    def __contains__(self, run_hash: str) -> bool:
+        return run_hash in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, run_hash: str) -> dict | None:
+        """Return the record for ``run_hash`` (None when absent)."""
+        return self._index.get(run_hash)
+
+    def hashes(self) -> list[str]:
+        """Sorted content hashes present in the store."""
+        return sorted(self._index)
+
+    def records(self) -> list[dict]:
+        """All records, sorted by hash for a deterministic listing."""
+        return [self._index[key] for key in self.hashes()]
+
+    # ---------------------------------------------------------------- write
+    def append(self, record: dict) -> None:
+        """Persist one result record (must carry a ``"hash"`` key)."""
+        key = record.get("hash")
+        if not key:
+            raise ValueError("result record needs a 'hash' key")
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._index[key] = record
+
+    def status_counts(self) -> dict[str, int]:
+        """Tally of record statuses (``ok`` / ``error`` / ``timeout``)."""
+        counts: dict[str, int] = {}
+        for record in self._index.values():
+            status = record.get("status", "unknown")
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def write_manifest(self, extra: dict | None = None) -> Path:
+        """(Re)write ``manifest.json`` summarizing the store's contents."""
+        entries = []
+        for key in self.hashes():
+            record = self._index[key]
+            spec = record.get("spec", {})
+            entries.append(
+                {
+                    "hash": key,
+                    "status": record.get("status"),
+                    "estimator": spec.get("estimator"),
+                    "propagator": spec.get("propagator"),
+                    "label_fraction": spec.get("label_fraction"),
+                    "repetition": spec.get("repetition"),
+                    "graph": spec.get("graph", {}).get("name")
+                    or spec.get("graph", {}).get("kind"),
+                }
+            )
+        manifest = {
+            "version": STORE_VERSION,
+            "n_records": len(self._index),
+            "status_counts": self.status_counts(),
+            "records": entries,
+        }
+        if extra:
+            manifest.update(extra)
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return self.manifest_path
+
+    def read_manifest(self) -> dict | None:
+        """Load ``manifest.json`` if present."""
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"ResultStore({str(self.directory)!r}, n_records={len(self)})"

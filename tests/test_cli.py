@@ -49,9 +49,15 @@ class TestParser:
         assert args.fraction == 0.01
         assert args.max_length == 5
 
-    def test_unknown_method_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["estimate", "graph.npz", "--method", "magic"])
+    def test_unknown_method_parses_but_fails_cleanly(self, capsys):
+        # Validation happens at execution time against the registry, so the
+        # parser accepts any string and `main` exits 2 with the names listed.
+        args = build_parser().parse_args(["estimate", "graph.npz", "--method", "magic"])
+        assert args.method == "magic"
+        assert main(["estimate", "graph.npz", "--method", "magic"]) == 2
+        error = capsys.readouterr().err
+        assert "unknown estimator 'magic'" in error
+        assert "DCEr" in error
 
     def test_dataset_choices(self):
         args = build_parser().parse_args(["dataset", "cora", "-o", "cora.npz"])
@@ -127,3 +133,148 @@ class TestSummaryEstimateExperiment:
         assert payload["method"] == "DCE"
         assert 0.0 <= payload["accuracy"] <= 1.0
         assert len(payload["compatibility"]) == 3
+
+
+class TestErrorPaths:
+    """Every user mistake exits with code 2 and a one-line message."""
+
+    def test_unknown_estimator_lists_valid_names(self, graph_file, capsys):
+        assert main(["estimate", str(graph_file), "--method", "nope"]) == 2
+        error = capsys.readouterr().err
+        assert error.startswith("repro: error: unknown estimator 'nope'")
+        for name in ("DCE", "DCEr", "GS", "Holdout", "LCE", "MCE"):
+            assert name in error
+        assert "Traceback" not in error
+
+    def test_unknown_propagator_lists_valid_names(self, graph_file, capsys):
+        assert main(
+            ["experiment", str(graph_file), "--propagator", "warp-drive"]
+        ) == 2
+        error = capsys.readouterr().err
+        assert "unknown propagator 'warp-drive'" in error
+        assert "linbp" in error and "harmonic" in error
+        assert "Traceback" not in error
+
+    def test_missing_graph_file(self, tmp_path, capsys):
+        missing = tmp_path / "does-not-exist.npz"
+        for command in (["summary"], ["estimate"], ["experiment"]):
+            assert main(command + [str(missing)]) == 2
+            error = capsys.readouterr().err
+            assert "graph file not found" in error
+            assert "Traceback" not in error
+
+    def test_unreadable_graph_file(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"this is not an npz bundle")
+        assert main(["summary", str(garbage)]) == 2
+        assert "could not read graph file" in capsys.readouterr().err
+
+    def test_run_missing_spec_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "grid spec file not found" in capsys.readouterr().err
+
+    def test_run_spec_path_is_a_directory(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path)]) == 2
+        error = capsys.readouterr().err
+        assert "invalid grid spec" in error
+        assert "Traceback" not in error
+
+    def test_run_invalid_spec(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"graphs": [], "estimators": ["MCE"],
+                                    "label_fractions": [0.1]}))
+        assert main(["run", str(spec)]) == 2
+        assert "invalid grid spec" in capsys.readouterr().err
+
+    def test_run_type_malformed_spec(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "graphs": [{"kind": "generate", "n_nodes": 50, "n_edges": 100}],
+            "estimators": ["MCE"],
+            "label_fractions": 0.1,  # scalar where a list is required
+        }))
+        assert main(["run", str(spec)]) == 2
+        error = capsys.readouterr().err
+        assert "invalid grid spec" in error
+        assert "Traceback" not in error
+
+    def test_run_unknown_estimator_in_spec(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "graphs": [{"kind": "generate", "n_nodes": 50, "n_edges": 100}],
+            "estimators": ["nope"],
+            "label_fractions": [0.1],
+        }))
+        assert main(["run", str(spec)]) == 2
+        error = capsys.readouterr().err
+        assert "unknown estimator 'nope'" in error
+
+    def test_report_missing_store(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "no-store")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestListCommand:
+    def test_list_prints_both_registries(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "propagators:" in output
+        assert "estimators:" in output
+        for name in ("linbp", "harmonic", "bp", "DCEr", "MCE", "Holdout"):
+            assert name in output
+        # Docstring first lines ride along.
+        assert "LinBP" in output
+        assert "restarts" in output
+
+
+class TestRunAndReport:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        spec = {
+            "name": "cli-grid",
+            "graphs": [{"kind": "generate", "name": "cli-graph", "n_nodes": 200,
+                        "n_edges": 1000, "n_classes": 3, "h": 3.0, "seed": 2}],
+            "estimators": ["MCE", "LCE"],
+            "label_fractions": [0.05, 0.1],
+            "n_repetitions": 2,
+            "base_seed": 3,
+        }
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_run_executes_and_rerun_hits_cache(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["run", str(spec_file), "--store", str(store),
+                     "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "8 executed" in output
+        assert "0 cache hits" in output
+        assert (store / "results.jsonl").exists()
+        assert (store / "manifest.json").exists()
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert manifest["n_records"] == 8
+        assert manifest["status_counts"] == {"ok": 8}
+
+        # Immediate re-run: 100% cache hits, zero re-executed runs.
+        assert main(["run", str(spec_file), "--store", str(store),
+                     "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "8 cache hits (100%)" in output
+        assert "0 executed" in output
+
+    def test_run_serial_flag(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["run", str(spec_file), "--store", str(store),
+                     "--serial", "--quiet"]) == 0
+        assert "1 worker)" in capsys.readouterr().out
+
+    def test_report_renders_table(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store"
+        main(["run", str(spec_file), "--store", str(store), "--serial", "--quiet"])
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "records: 8 (8 ok)" in output
+        assert "| label_fraction | LCE | MCE |" in output
+        assert "(n=2)" in output

@@ -1,0 +1,98 @@
+"""Unit tests for the content-addressed result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner.store import ResultStore
+
+
+def make_record(key: str, status: str = "ok", **spec_overrides) -> dict:
+    spec = {
+        "graph": {"kind": "generate", "name": "store-test", "n_nodes": 10,
+                  "n_edges": 20},
+        "estimator": "MCE",
+        "propagator": "linbp",
+        "label_fraction": 0.1,
+        "repetition": 0,
+    }
+    spec.update(spec_overrides)
+    return {
+        "hash": key,
+        "spec": spec,
+        "status": status,
+        "result": {"accuracy": 0.5} if status == "ok" else None,
+        "timing": {"total_seconds": 0.01},
+        "error": None if status == "ok" else "boom",
+    }
+
+
+class TestResultStore:
+    def test_append_and_lookup(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert len(store) == 0
+        store.append(make_record("aaa"))
+        assert "aaa" in store
+        assert "bbb" not in store
+        assert store.get("aaa")["status"] == "ok"
+        assert store.get("bbb") is None
+
+    def test_reload_from_disk(self, tmp_path):
+        directory = tmp_path / "store"
+        store = ResultStore(directory)
+        store.append(make_record("aaa"))
+        store.append(make_record("bbb", status="error"))
+        reloaded = ResultStore(directory)
+        assert len(reloaded) == 2
+        assert reloaded.get("bbb")["error"] == "boom"
+        assert reloaded.hashes() == ["aaa", "bbb"]
+
+    def test_duplicate_hash_keeps_latest(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa", status="error"))
+        store.append(make_record("aaa", status="ok"))
+        assert len(store) == 1
+        assert store.get("aaa")["status"] == "ok"
+        # The same holds after a reload (later line wins).
+        assert ResultStore(store.directory).get("aaa")["status"] == "ok"
+
+    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa"))
+        with store.results_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"hash": "bbb", "status": "o')  # killed mid-write
+        reloaded = ResultStore(store.directory)
+        assert len(reloaded) == 1
+        assert "aaa" in reloaded
+
+    def test_record_without_hash_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="hash"):
+            store.append({"status": "ok"})
+
+    def test_status_counts(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa"))
+        store.append(make_record("bbb"))
+        store.append(make_record("ccc", status="timeout"))
+        assert store.status_counts() == {"ok": 2, "timeout": 1}
+
+    def test_manifest_contents(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa", label_fraction=0.05))
+        store.append(make_record("bbb", status="error"))
+        path = store.write_manifest(extra={"grid": "demo"})
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        assert manifest["n_records"] == 2
+        assert manifest["status_counts"] == {"ok": 1, "error": 1}
+        assert manifest["grid"] == "demo"
+        entries = {entry["hash"]: entry for entry in manifest["records"]}
+        assert entries["aaa"]["label_fraction"] == 0.05
+        assert entries["aaa"]["graph"] == "store-test"
+        assert entries["bbb"]["status"] == "error"
+        assert store.read_manifest() == manifest
+
+    def test_read_manifest_absent(self, tmp_path):
+        assert ResultStore(tmp_path / "store").read_manifest() is None
