@@ -65,8 +65,15 @@ from repro.runner import (
     RunSpec,
     execute_grid,
 )
+from repro.stream import (
+    GraphDelta,
+    IncrementalPropagator,
+    StreamingSession,
+    read_delta_stream,
+    replay_events,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DCE",
@@ -75,10 +82,12 @@ __all__ = [
     "ExecutionReport",
     "GoldStandard",
     "Graph",
+    "GraphDelta",
     "GraphOperators",
     "GridSpec",
     "HeuristicEstimator",
     "HoldoutEstimator",
+    "IncrementalPropagator",
     "LCE",
     "MCE",
     "PROPAGATORS",
@@ -86,6 +95,7 @@ __all__ = [
     "Propagator",
     "ResultStore",
     "RunSpec",
+    "StreamingSession",
     "__version__",
     "accuracy",
     "compatibility_l2",
@@ -102,8 +112,10 @@ __all__ = [
     "propagate_and_label",
     "propagator_names",
     "random_compatibility",
+    "read_delta_stream",
     "register_estimator",
     "register_propagator",
+    "replay_events",
     "run_experiment",
     "skew_compatibility",
     "stratified_seed_indices",

@@ -1,6 +1,6 @@
 """Command-line interface for the library.
 
-Eight subcommands cover the end-to-end workflow without writing Python:
+Ten subcommands cover the end-to-end workflow without writing Python:
 
 * ``repro generate``   — create a synthetic graph with planted compatibilities
 * ``repro dataset``    — build one of the real-world dataset stand-ins
@@ -9,6 +9,8 @@ Eight subcommands cover the end-to-end workflow without writing Python:
 * ``repro experiment`` — run the full estimate-then-propagate experiment
 * ``repro run``        — execute a grid spec through the parallel runner
 * ``repro report``     — summarize a runner result store as a table
+* ``repro gc``         — compact a result store (drop superseded records)
+* ``repro stream``     — replay a JSONL delta stream with incremental propagation
 * ``repro list``       — print the registered propagators and estimators
 
 Graphs are exchanged as ``.npz`` bundles (see :mod:`repro.graph.io`).
@@ -21,6 +23,8 @@ Examples
     repro experiment graph.npz --method DCEr --propagator harmonic
     repro run grid.json --store runs/grid --workers 4
     repro report runs/grid
+    repro gc runs/grid --drop-failed
+    repro stream graph.npz events.jsonl --verify-every 5 --json replay.json
 
 ``--propagator`` and ``--method`` values are validated against the
 ``PROPAGATORS``/``ESTIMATORS`` registries of :mod:`repro.propagation.engine`
@@ -156,6 +160,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--metric", default="accuracy",
                         choices=["accuracy", "l2_to_gold", "estimation_seconds",
                                  "propagation_seconds"])
+
+    gc = subparsers.add_parser(
+        "gc", help="compact a result store: drop superseded duplicate records"
+    )
+    gc.add_argument("store", help="result store directory written by `repro run`")
+    gc.add_argument("--drop-failed", action="store_true",
+                    help="also drop error/timeout records so those runs retry")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be dropped without rewriting")
+
+    stream = subparsers.add_parser(
+        "stream", help="replay a JSONL delta stream with incremental propagation"
+    )
+    _add_estimation_arguments(stream)
+    stream.add_argument("events", help="JSONL event file (one GraphDelta per line)")
+    stream.add_argument("--propagator", default="linbp",
+                        help="propagation algorithm driving the session "
+                             "(see `repro list`)")
+    stream.add_argument("--iterations", type=int, default=300,
+                        help="fixed-point sweep cap (default 300: streaming "
+                             "needs converged solves, not the paper's 10)")
+    stream.add_argument("--tolerance", type=float, default=1e-8,
+                        help="fixed-point convergence tolerance")
+    stream.add_argument("--verify-every", type=int, default=0, metavar="N",
+                        help="every N steps, run a cold batch re-solve and "
+                             "record wall time + max belief deviation")
+    stream.add_argument("--verify-tolerance", type=float, default=1e-6,
+                        help="fail (exit 1) when a verified deviation "
+                             "exceeds this bound")
+    stream.add_argument("--lenient", action="store_true",
+                        help="tolerate duplicate edge insertions (weights "
+                             "sum) and removals of absent edges (no-ops)")
+    stream.add_argument("--no-score", action="store_true",
+                        help="skip per-step accuracy scoring")
+    stream.add_argument("--json", help="write the replay report to this JSON file")
+    stream.add_argument("--quiet", action="store_true",
+                        help="suppress per-step progress lines")
 
     subparsers.add_parser(
         "list", help="print the registered propagators and estimators"
@@ -336,6 +377,114 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_gc(args: argparse.Namespace) -> int:
+    store_dir = Path(args.store)
+    if not store_dir.is_dir():
+        raise CLIError(f"result store directory not found: {store_dir}")
+    store = ResultStore(store_dir)
+    if args.dry_run:
+        n_lines = 0
+        if store.results_path.exists():
+            with store.results_path.open("r", encoding="utf-8") as handle:
+                n_lines = sum(1 for line in handle if line.strip())
+        n_failed = sum(
+            1 for record in store.records() if record.get("status") != "ok"
+        ) if args.drop_failed else 0
+        print(f"{store_dir}: {n_lines} lines, {len(store)} live records; "
+              f"compaction would drop {n_lines - len(store)} superseded "
+              f"and {n_failed} failed records")
+        return 0
+    stats = store.compact(drop_failed=args.drop_failed)
+    print(f"compacted {store_dir}: kept {stats['n_kept']} of "
+          f"{stats['n_lines_before']} records "
+          f"({stats['n_dropped_superseded']} superseded, "
+          f"{stats['n_dropped_failed']} failed dropped); manifest rewritten")
+    return 0
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    from repro.eval.seeding import stratified_seed_indices
+    from repro.stream import read_delta_stream, replay_events
+
+    _check_propagator(args.propagator)
+    graph = _load_graph(args.graph)
+    events_path = Path(args.events)
+    if not events_path.exists():
+        raise CLIError(f"event file not found: {events_path}")
+    try:
+        deltas = read_delta_stream(events_path)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    if not deltas:
+        raise CLIError(f"event file {events_path} contains no deltas")
+
+    if graph.labels is None:
+        raise CLIError(
+            f"graph {args.graph} carries no ground-truth labels; streaming "
+            "replay needs them for seeding and scoring"
+        )
+    seed_indices = stratified_seed_indices(
+        graph.require_labels(), fraction=args.fraction, rng=args.seed
+    )
+    seed_labels = graph.partial_labels(seed_indices)
+
+    propagator = PROPAGATORS[args.propagator](
+        max_iterations=args.iterations, tolerance=args.tolerance
+    )
+    compatibility = None
+    if propagator.needs_compatibility:
+        estimator = _resolve_estimator(args)
+        estimation = estimator.fit(graph, seed_labels)
+        compatibility = estimation.compatibility
+        print(f"estimated compatibility with {estimation.method} "
+              f"({estimation.elapsed_seconds:.3f}s)")
+
+    report = replay_events(
+        graph,
+        deltas,
+        propagator,
+        compatibility=compatibility,
+        seed_labels=seed_labels,
+        verify_every=args.verify_every,
+        score=not args.no_score,
+        strict=not args.lenient,
+    )
+    if not args.quiet:
+        for record in report.steps:
+            line = (f"step {record.step:3d}: {record.delta:<42s} "
+                    f"{record.mode:<11s} {record.total_seconds * 1e3:8.1f} ms")
+            if record.accuracy is not None:
+                line += f"  acc {record.accuracy:.4f}"
+            if record.deviation is not None:
+                line += (f"  [full {record.full_seconds * 1e3:.1f} ms, "
+                         f"dev {record.deviation:.1e}]")
+            print(line)
+
+    print(f"{len(report.steps)} steps: {report.n_incremental} incremental, "
+          f"{report.n_full} full")
+    if report.final_accuracy is not None:
+        print(f"final accuracy: {report.final_accuracy:.4f}")
+    if report.mean_seconds("incremental") is not None:
+        print(f"mean incremental step: "
+              f"{report.mean_seconds('incremental') * 1e3:.1f} ms")
+    if report.verified_speedup is not None:
+        print(f"verified full re-solve speedup: {report.verified_speedup:.2f}x")
+    if report.max_deviation is not None:
+        print(f"max verified deviation: {report.max_deviation:.2e}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote replay report to {args.json}")
+
+    if report.max_deviation is not None and report.max_deviation > args.verify_tolerance:
+        print(f"repro: error: incremental beliefs deviate from the batch "
+              f"re-solve by {report.max_deviation:.2e} "
+              f"(> {args.verify_tolerance:g})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _first_docstring_line(obj) -> str:
     docstring = (obj.__doc__ or "").strip()
     return docstring.splitlines()[0] if docstring else "(no docstring)"
@@ -363,6 +512,8 @@ COMMANDS = {
     "experiment": _command_experiment,
     "run": _command_run,
     "report": _command_report,
+    "gc": _command_gc,
+    "stream": _command_stream,
     "list": _command_list,
 }
 

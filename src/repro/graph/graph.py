@@ -118,6 +118,35 @@ class Graph:
             self.__dict__["_operators"] = cached
         return cached
 
+    def invalidate_operators(self) -> None:
+        """Drop the cached :class:`GraphOperators` instance.
+
+        The :attr:`operators` cache keys on the *identity* of the adjacency
+        object, so replacing ``graph.adjacency`` invalidates it naturally —
+        but mutating the CSR arrays in place (``adjacency.data[...] = ...``)
+        does not, and the cache would silently keep serving normalizations
+        and the spectral radius of the old weights.  Call this after any
+        in-place mutation; the delta-application path of
+        :mod:`repro.stream` does so on every applied delta.
+        """
+        self.__dict__.pop("_operators", None)
+
+    def set_operators(self, operators: "GraphOperators") -> None:
+        """Install a pre-built operator cache for this graph's adjacency.
+
+        The streaming layer evolves the previous delta's
+        :class:`GraphOperators` (carrying incrementally updated degrees and
+        a warm spectral-radius estimate) and installs it here so that
+        ``graph.operators`` serves the primed instance instead of
+        recomputing everything from scratch.
+        """
+        if operators.adjacency is not self.adjacency:
+            raise ValueError(
+                "operators were built for a different adjacency object; "
+                "assign graph.adjacency first"
+            )
+        self.__dict__["_operators"] = operators
+
     @property
     def degrees(self) -> np.ndarray:
         """Weighted degree of each node."""

@@ -120,6 +120,44 @@ class GraphOperators:
 
         return self._cached(key, factory)
 
+    def prime_spectral_radius(self, value: float, seed=0) -> None:
+        """Seed the spectral-radius cache with an externally computed value.
+
+        The streaming layer maintains a warm Lanczos estimate of ``rho(W)``
+        across graph deltas (a handful of matrix-vector products instead of
+        a fresh ARPACK solve) and primes the evolved operator cache with it,
+        so that :meth:`spectral_radius` — and therefore
+        :meth:`linbp_scaling` — never trigger the expensive batch path.
+        """
+        self._cache[("spectral_radius", seed)] = float(value)
+
+    def evolve(self, new_adjacency, delta_degrees: np.ndarray | None = None) -> "GraphOperators":
+        """Derive the operator cache for a delta-mutated adjacency.
+
+        Returns a fresh :class:`GraphOperators` for ``new_adjacency`` with
+        every derived operator invalidated *except* what a delta can refresh
+        cheaply: when ``delta_degrees`` (the per-node degree change of the
+        applied delta, zero-padded for added nodes) is provided and this
+        instance has its degree vector cached, the new instance's degrees
+        are primed as ``old + delta`` in O(n) instead of an O(nnz) recount.
+        The caller is expected to additionally prime the spectral radius via
+        :meth:`prime_spectral_radius` when it maintains a warm estimate.
+        """
+        evolved = GraphOperators(new_adjacency)
+        if delta_degrees is not None and "degrees" in self._cache:
+            delta_degrees = np.asarray(delta_degrees, dtype=np.float64)
+            if delta_degrees.shape[0] < evolved.n_nodes:
+                raise ValueError(
+                    f"delta_degrees has length {delta_degrees.shape[0]} for a "
+                    f"graph grown to {evolved.n_nodes} nodes"
+                )
+            degrees = np.zeros(evolved.n_nodes, dtype=np.float64)
+            old = self._cache["degrees"]
+            degrees[: old.shape[0]] = old
+            degrees += delta_degrees
+            evolved._cache["degrees"] = degrees
+        return evolved
+
     def linbp_scaling(
         self, centered_compatibility: np.ndarray, safety: float = 0.5, seed=0
     ) -> float:

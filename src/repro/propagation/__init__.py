@@ -54,6 +54,8 @@ and ``repro experiment --propagator jacobi``.
 from repro.propagation.bp import BPResult, LoopyBPPropagator, beliefpropagation
 from repro.propagation.cocitation import CocitationPropagator, cocitation_classify
 from repro.propagation.convergence import (
+    SpectralState,
+    lanczos_spectral_state,
     linbp_scaling,
     power_iteration_radius,
     spectral_radius,
@@ -63,6 +65,7 @@ from repro.propagation.engine import (
     PROPAGATORS,
     PropagationResult,
     Propagator,
+    WarmStart,
     estimator_names,
     fixed_point_iterate,
     get_estimator,
@@ -100,6 +103,8 @@ __all__ = [
     "PROPAGATORS",
     "PropagationResult",
     "Propagator",
+    "SpectralState",
+    "WarmStart",
     "beliefpropagation",
     "cocitation_classify",
     "estimator_names",
@@ -107,6 +112,7 @@ __all__ = [
     "get_estimator",
     "get_propagator",
     "harmonic_functions",
+    "lanczos_spectral_state",
     "linbp",
     "linbp_scaling",
     "local_global_consistency",

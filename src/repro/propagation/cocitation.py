@@ -40,6 +40,9 @@ class CocitationPropagator(Propagator):
 
     name = "cocitation"
     needs_compatibility = False
+    # Non-iterative: there is no fixed point to resume, so a "warm" run is
+    # exactly a full recomputation and the engine ignores warm_start.
+    supports_warm_start = False
 
     def __init__(
         self,

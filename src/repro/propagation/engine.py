@@ -40,6 +40,7 @@ from repro.utils.validation import check_labels, check_positive, check_square
 __all__ = [
     "PropagationResult",
     "Propagator",
+    "WarmStart",
     "fixed_point_iterate",
     "PROPAGATORS",
     "ESTIMATORS",
@@ -78,6 +79,11 @@ class PropagationResult:
         Registry name of the algorithm that produced the result.
     details:
         Algorithm-specific extras (e.g. LinBP's ``scaling`` epsilon).
+    state:
+        Algorithm-specific warm-start payload (numpy arrays, not meant for
+        serialization).  Loopy BP stores its converged edge messages here so
+        a later run on a slightly different graph can resume from them;
+        beliefs-iterating algorithms need nothing beyond :attr:`beliefs`.
     """
 
     beliefs: np.ndarray
@@ -88,6 +94,21 @@ class PropagationResult:
     elapsed_seconds: float
     propagator: str = ""
     details: dict = field(default_factory=dict)
+    state: dict = field(default_factory=dict)
+
+
+@dataclass
+class WarmStart:
+    """Resolved warm-start context handed to :meth:`Propagator._run`.
+
+    Built by :meth:`Propagator.propagate` from either a previous
+    :class:`PropagationResult` (beliefs plus the algorithm's ``details`` and
+    ``state``) or a bare belief matrix (empty extras).
+    """
+
+    beliefs: np.ndarray
+    details: dict = field(default_factory=dict)
+    state: dict = field(default_factory=dict)
 
 
 # ------------------------------------------------------------------ iteration
@@ -167,6 +188,17 @@ class Propagator(abc.ABC):
 
     name = "propagator"
     needs_compatibility = False
+    #: True when ``_run`` accepts a ``warm_start`` keyword and can resume
+    #: from a previous result's beliefs/state.  Opt-in so pre-existing
+    #: third-party subclasses (whose ``_run`` lacks the keyword) keep
+    #: working unchanged; the engine silently ignores ``warm_start`` for
+    #: propagators that do not declare support.
+    supports_warm_start = False
+    #: True when the algorithm's convergence scaling depends on the graph's
+    #: spectral radius (LinBP's epsilon).  The streaming session uses this
+    #: to decide whether it must maintain a warm dominant-eigenpair estimate
+    #: across graph deltas.
+    uses_spectral_scaling = False
 
     def __init__(
         self,
@@ -188,6 +220,7 @@ class Propagator(abc.ABC):
         *,
         prior_beliefs=None,
         n_classes: int | None = None,
+        warm_start: "PropagationResult | np.ndarray | None" = None,
     ) -> PropagationResult:
         """Run the algorithm and return a :class:`PropagationResult`.
 
@@ -209,6 +242,14 @@ class Propagator(abc.ABC):
         n_classes:
             Number of classes; inferred from the compatibility matrix, the
             prior beliefs, the graph or the seed labels when omitted.
+        warm_start:
+            A previous :class:`PropagationResult` for the same problem (or a
+            bare ``n x k`` belief matrix) to resume from instead of the cold
+            initial iterate.  The fixed points of every built-in iterative
+            propagator are unique, so a warm run converges to the same
+            answer as a cold one — just in fewer sweeps when the graph or
+            labels changed only slightly.  Ignored by propagators whose
+            :attr:`supports_warm_start` is False.
         """
         operators = operators_for(graph)
         n_nodes = operators.n_nodes
@@ -241,10 +282,20 @@ class Propagator(abc.ABC):
                 f"{compatibility.shape[0]}x{compatibility.shape[0]}"
             )
 
+        warm = self._resolve_warm_start(warm_start, n_nodes, n_classes)
+
         start = time.perf_counter()
-        beliefs, n_iterations, converged, residuals, details = self._run(
-            operators, prior_beliefs, seed_labels, n_classes, compatibility
-        )
+        if warm is not None:
+            outcome = self._run(
+                operators, prior_beliefs, seed_labels, n_classes, compatibility,
+                warm_start=warm,
+            )
+        else:
+            outcome = self._run(
+                operators, prior_beliefs, seed_labels, n_classes, compatibility
+            )
+        beliefs, n_iterations, converged, residuals, details = outcome[:5]
+        state = outcome[5] if len(outcome) > 5 else {}
         elapsed = time.perf_counter() - start
 
         labels = labels_from_one_hot(beliefs)
@@ -260,6 +311,7 @@ class Propagator(abc.ABC):
             elapsed_seconds=elapsed,
             propagator=self.name,
             details=details,
+            state=state,
         )
 
     # --------------------------------------------------------------- helpers
@@ -284,6 +336,37 @@ class Propagator(abc.ABC):
         check_positive(n_classes, "n_classes")
         return int(n_classes)
 
+    def _resolve_warm_start(
+        self, warm_start, n_nodes: int, n_classes: int
+    ) -> "WarmStart | None":
+        """Normalize the public ``warm_start`` argument into a :class:`WarmStart`.
+
+        Returns None (cold start) when no warm start was given or the
+        algorithm does not support one.  A belief matrix whose shape does
+        not match the current problem is an error — callers that grew the
+        graph must pad the previous beliefs themselves (the streaming
+        session does exactly that for added nodes).
+        """
+        if warm_start is None or not self.supports_warm_start:
+            return None
+        if isinstance(warm_start, PropagationResult):
+            warm = WarmStart(
+                beliefs=warm_start.beliefs,
+                details=warm_start.details,
+                state=warm_start.state,
+            )
+        elif isinstance(warm_start, WarmStart):
+            warm = warm_start
+        else:
+            warm = WarmStart(beliefs=np.asarray(warm_start))
+        beliefs = np.asarray(warm.beliefs)
+        if beliefs.shape != (n_nodes, n_classes):
+            raise ValueError(
+                f"warm-start beliefs have shape {beliefs.shape}; expected "
+                f"({n_nodes}, {n_classes})"
+            )
+        return WarmStart(beliefs=beliefs, details=warm.details, state=warm.state)
+
     @staticmethod
     def _dense(matrix, dtype=np.float64) -> np.ndarray:
         """Prior beliefs as a dense float array (sparse inputs are expanded)."""
@@ -300,7 +383,13 @@ class Propagator(abc.ABC):
         n_classes: int,
         compatibility: np.ndarray | None,
     ) -> tuple[np.ndarray, int, bool, list[float], dict]:
-        """Return ``(beliefs, n_iterations, converged, residuals, details)``."""
+        """Return ``(beliefs, n_iterations, converged, residuals, details)``.
+
+        Subclasses that declare ``supports_warm_start = True`` must also
+        accept a ``warm_start: WarmStart`` keyword (only passed when a warm
+        start was requested) and may append a sixth ``state`` dict to the
+        returned tuple carrying their resumable internal state.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"{self.__class__.__name__}(name={self.name!r})"

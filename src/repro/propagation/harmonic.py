@@ -35,6 +35,7 @@ class HarmonicPropagator(Propagator):
 
     name = "harmonic"
     needs_compatibility = False
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -51,6 +52,7 @@ class HarmonicPropagator(Propagator):
         seed_labels,
         n_classes: int,
         compatibility,
+        warm_start=None,
     ) -> tuple[np.ndarray, int, bool, list[float], dict]:
         if seed_labels is None:
             raise ValueError("harmonic functions need seed_labels to clamp seeds")
@@ -63,8 +65,15 @@ class HarmonicPropagator(Propagator):
             averaged[seeded] = clamped[seeded]
             return averaged
 
+        initial = clamped
+        if warm_start is not None:
+            # Resume from the previous beliefs, re-clamping the (possibly
+            # newly revealed) seed rows to their one-hot labels.
+            initial = np.array(warm_start.beliefs, dtype=self.dtype, copy=True)
+            initial[seeded] = clamped[seeded]
+
         beliefs, n_iterations, converged, residuals = fixed_point_iterate(
-            step, clamped, self.max_iterations, self.tolerance
+            step, initial, self.max_iterations, self.tolerance
         )
         return beliefs, n_iterations, converged, residuals, {}
 

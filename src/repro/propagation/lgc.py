@@ -40,6 +40,7 @@ class LGCPropagator(Propagator):
 
     name = "lgc"
     needs_compatibility = False
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -59,6 +60,7 @@ class LGCPropagator(Propagator):
         seed_labels,
         n_classes: int,
         compatibility,
+        warm_start=None,
     ) -> tuple[np.ndarray, int, bool, list[float], dict]:
         if seed_labels is None:
             raise ValueError("LGC needs seed_labels for its fidelity term")
@@ -73,8 +75,14 @@ class LGCPropagator(Propagator):
             smoothed += fidelity
             return smoothed
 
+        initial = clamped
+        if warm_start is not None:
+            # The teleport term (1 - alpha) Y makes the fixed point unique,
+            # so resuming from the previous beliefs is exact.
+            initial = np.asarray(warm_start.beliefs, dtype=self.dtype)
+
         beliefs, n_iterations, converged, residuals = fixed_point_iterate(
-            step, clamped, self.max_iterations, self.tolerance
+            step, initial, self.max_iterations, self.tolerance
         )
         return beliefs, n_iterations, converged, residuals, {}
 

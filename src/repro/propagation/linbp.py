@@ -94,10 +94,18 @@ class LinBPPropagator(Propagator):
         Include the echo-cancellation correction term (ablation only).
     scaling:
         Explicit epsilon; overrides the automatic choice when provided.
+    mixed_precision_warm:
+        When resuming from a warm start with float64 iterates, run the bulk
+        of the remaining sweeps in float32 (half the memory traffic) and
+        only polish the final stretch in float64.  The polish converges to
+        the same float64 fixed point within ``tolerance``, so results agree
+        with a pure-float64 resume to the solver tolerance; disable for
+        bit-level reproducibility of warm runs.
     """
 
     name = "linbp"
     needs_compatibility = True
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -108,6 +116,7 @@ class LinBPPropagator(Propagator):
         center: bool = True,
         echo_cancellation: bool = False,
         scaling: float | None = None,
+        mixed_precision_warm: bool = True,
     ) -> None:
         super().__init__(max_iterations=max_iterations, tolerance=tolerance, dtype=dtype)
         check_positive(safety, "safety")
@@ -115,6 +124,10 @@ class LinBPPropagator(Propagator):
         self.center = bool(center)
         self.echo_cancellation = bool(echo_cancellation)
         self.scaling = scaling
+        self.mixed_precision_warm = bool(mixed_precision_warm)
+        # Epsilon depends on rho(W) unless pinned explicitly, in which case
+        # the streaming session need not track the spectral radius at all.
+        self.uses_spectral_scaling = scaling is None
 
     def _run(
         self,
@@ -123,6 +136,7 @@ class LinBPPropagator(Propagator):
         seed_labels,
         n_classes: int,
         compatibility: np.ndarray,
+        warm_start=None,
     ) -> tuple[np.ndarray, int, bool, list[float], dict]:
         explicit = self._dense(prior_beliefs)
         if self.center:
@@ -153,10 +167,80 @@ class LinBPPropagator(Propagator):
             out += priors
             return out
 
+        initial = priors
+        if warm_start is not None:
+            # The iterate lives in the (possibly centered) belief space, so a
+            # previous result's beliefs resume the fixed point directly.  A
+            # first-order correction for the drifted convergence scaling —
+            # F(eps_new) ~ F + (eps_new/eps_old - 1)(F - X) — removes most of
+            # the global residual that an epsilon refresh would otherwise
+            # inject everywhere (the echo variant's epsilon enters
+            # quadratically, so it resumes uncorrected).
+            initial = np.asarray(warm_start.beliefs, dtype=self.dtype)
+            previous_scaling = warm_start.details.get("scaling")
+            if previous_scaling and not echo:
+                drift = float(scaling) / float(previous_scaling) - 1.0
+                if drift != 0.0:
+                    initial = initial + drift * (initial - priors)
+
+        coarse_iterations = 0
+        coarse_residuals: list[float] = []
+        budget = self.max_iterations
+        if (
+            warm_start is not None
+            and self.mixed_precision_warm
+            and not echo
+            and self.dtype == np.float64
+            and budget > 2
+        ):
+            # Mixed-precision resume: burn down the residual in float32
+            # (half the memory traffic of the dominant W @ F product), then
+            # polish to the float64 fixed point.  One float64 probe sweep
+            # measures how far the warm start actually is — a
+            # nearly-converged resume skips the float32 phase, whose cast
+            # noise would only re-dirty the iterate.  The float32 budget is
+            # capped regardless, so a pathological stall costs bounded cheap
+            # sweeps, never the run.
+            switch_tolerance = max(2e-6, 50.0 * self.tolerance)
+            probe, probe_iterations, probe_converged, probe_residuals = (
+                fixed_point_iterate(step, initial, 1, self.tolerance)
+            )
+            coarse_iterations += probe_iterations
+            coarse_residuals += probe_residuals
+            budget -= probe_iterations
+            initial = probe
+            if not probe_converged and probe_residuals[-1] > switch_tolerance:
+                adjacency32 = operators.cast_adjacency(np.float32)
+                modulation32 = modulation.astype(np.float32)
+                priors32 = priors.astype(np.float32)
+
+                def coarse_step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
+                    propagated = np.asarray(adjacency32 @ current)
+                    np.matmul(propagated, modulation32, out=out)
+                    out += priors32
+                    return out
+
+                coarse, fast_iterations, _, fast_residuals = fixed_point_iterate(
+                    coarse_step,
+                    initial.astype(np.float32),
+                    min(budget, 80),
+                    switch_tolerance,
+                )
+                coarse_iterations += fast_iterations
+                coarse_residuals += fast_residuals
+                budget = max(0, budget - fast_iterations)
+                initial = coarse.astype(np.float64)
+
         beliefs, n_iterations, converged, residuals = fixed_point_iterate(
-            step, priors, self.max_iterations, self.tolerance
+            step, initial, budget, self.tolerance
         )
-        return beliefs, n_iterations, converged, residuals, {"scaling": float(scaling)}
+        return (
+            beliefs,
+            coarse_iterations + n_iterations,
+            converged,
+            coarse_residuals + residuals,
+            {"scaling": float(scaling)},
+        )
 
 
 @register_propagator()

@@ -78,6 +78,7 @@ class MultiRankWalkPropagator(Propagator):
 
     name = "mrw"
     needs_compatibility = False
+    supports_warm_start = True
 
     def __init__(
         self,
@@ -97,6 +98,7 @@ class MultiRankWalkPropagator(Propagator):
         seed_labels,
         n_classes: int,
         compatibility,
+        warm_start=None,
     ) -> tuple[np.ndarray, int, bool, list[float], dict]:
         if seed_labels is None:
             raise ValueError("MultiRankWalk needs seed_labels for its teleports")
@@ -118,8 +120,14 @@ class MultiRankWalkPropagator(Propagator):
             walked += restart_mass
             return walked
 
+        initial = teleports
+        if warm_start is not None:
+            # The restart mass keeps the per-class walks' fixed points
+            # unique, so the previous scores resume them exactly.
+            initial = np.asarray(warm_start.beliefs, dtype=self.dtype)
+
         scores, n_iterations, converged, residuals = fixed_point_iterate(
-            step, teleports, self.max_iterations, self.tolerance
+            step, initial, self.max_iterations, self.tolerance
         )
         return scores, n_iterations, converged, residuals, {}
 

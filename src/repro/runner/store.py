@@ -136,6 +136,56 @@ class ResultStore:
         )
         return self.manifest_path
 
+    def compact(self, drop_failed: bool = False) -> dict:
+        """Garbage-collect the JSONL: one line per hash, manifest refreshed.
+
+        Long-lived stores accumulate superseded lines — every ``--force``
+        re-run and every retried failure appends a new record that shadows
+        the previous one for the same hash.  Compaction rewrites
+        ``results.jsonl`` with exactly the records the in-memory index
+        already serves (latest line per hash, i.e. semantics are unchanged),
+        drops everything shadowed, and rewrites the manifest to match.
+
+        With ``drop_failed=True``, records whose status is not ``"ok"`` are
+        removed entirely, so the corresponding runs re-execute on the next
+        grid execution instead of surfacing stale errors.
+
+        The rewrite goes through a temporary file in the store directory
+        followed by an atomic replace, so a crash mid-compaction leaves
+        either the old or the new file, never a truncated one.
+
+        Returns a stats dict: ``n_lines_before``, ``n_kept``,
+        ``n_dropped_superseded``, ``n_dropped_failed``.
+        """
+        n_lines_before = 0
+        if self.results_path.exists():
+            with self.results_path.open("r", encoding="utf-8") as handle:
+                n_lines_before = sum(1 for line in handle if line.strip())
+
+        kept: dict[str, dict] = {}
+        n_dropped_failed = 0
+        for key in self.hashes():
+            record = self._index[key]
+            if drop_failed and record.get("status") != "ok":
+                n_dropped_failed += 1
+                continue
+            kept[key] = record
+
+        temporary = self.results_path.with_suffix(".jsonl.tmp")
+        with temporary.open("w", encoding="utf-8") as handle:
+            for key in sorted(kept):
+                handle.write(json.dumps(kept[key], sort_keys=True) + "\n")
+        temporary.replace(self.results_path)
+
+        self._index = kept
+        self.write_manifest()
+        return {
+            "n_lines_before": n_lines_before,
+            "n_kept": len(kept),
+            "n_dropped_superseded": n_lines_before - len(kept) - n_dropped_failed,
+            "n_dropped_failed": n_dropped_failed,
+        }
+
     def read_manifest(self) -> dict | None:
         """Load ``manifest.json`` if present."""
         if not self.manifest_path.exists():

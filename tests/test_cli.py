@@ -278,3 +278,143 @@ class TestRunAndReport:
         assert "records: 8 (8 ok)" in output
         assert "| label_fraction | LCE | MCE |" in output
         assert "(n=2)" in output
+
+
+@pytest.fixture()
+def events_file(tmp_path, graph_file):
+    """A small valid event stream for the graph_file fixture."""
+    from repro.graph.io import load_graph_npz as load
+    from repro.stream import GraphDelta, write_delta_stream
+
+    graph = load(graph_file)
+    adjacency = graph.adjacency
+    labels = graph.require_labels()
+    rng = np.random.default_rng(3)
+    seen = set()
+    deltas = []
+    for _ in range(3):
+        edges = []
+        while len(edges) < 4:
+            u, v = (int(x) for x in rng.integers(0, graph.n_nodes, 2))
+            u, v = min(u, v), max(u, v)
+            if u == v or (u, v) in seen or adjacency[u, v] != 0:
+                continue
+            seen.add((u, v))
+            edges.append([u, v])
+        reveal = rng.choice(graph.n_nodes, 2, replace=False)
+        deltas.append(GraphDelta(
+            add_edges=edges, reveal_nodes=reveal, reveal_labels=labels[reveal]
+        ))
+    return write_delta_stream(deltas, tmp_path / "events.jsonl")
+
+
+class TestStreamCommand:
+    def test_stream_replays_and_reports(self, graph_file, events_file, tmp_path, capsys):
+        report_path = tmp_path / "replay.json"
+        exit_code = main([
+            "stream", str(graph_file), str(events_file),
+            "--method", "GS", "--fraction", "0.1",
+            "--verify-every", "2", "--json", str(report_path),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "incremental" in output
+        assert "max verified deviation" in output
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["n_steps"] == 4  # initial solve + 3 deltas
+        assert payload["max_deviation"] is not None
+        assert payload["max_deviation"] <= 1e-6
+
+    def test_stream_without_verification(self, graph_file, events_file, capsys):
+        exit_code = main([
+            "stream", str(graph_file), str(events_file),
+            "--method", "GS", "--fraction", "0.1", "--quiet",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "deviation" not in output
+
+    def test_stream_homophily_propagator_skips_estimation(
+        self, graph_file, events_file, capsys
+    ):
+        exit_code = main([
+            "stream", str(graph_file), str(events_file),
+            "--propagator", "lgc", "--fraction", "0.1", "--quiet",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "estimated compatibility" not in output
+
+    def test_stream_missing_events_file(self, graph_file, tmp_path, capsys):
+        exit_code = main([
+            "stream", str(graph_file), str(tmp_path / "missing.jsonl"),
+        ])
+        assert exit_code == 2
+        assert "event file not found" in capsys.readouterr().err
+
+    def test_stream_malformed_events_fail_cleanly(self, graph_file, tmp_path, capsys):
+        events = tmp_path / "bad.jsonl"
+        events.write_text("not json\n", encoding="utf-8")
+        exit_code = main(["stream", str(graph_file), str(events)])
+        assert exit_code == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_stream_empty_events_fail_cleanly(self, graph_file, tmp_path, capsys):
+        events = tmp_path / "empty.jsonl"
+        events.write_text("# only comments\n", encoding="utf-8")
+        exit_code = main(["stream", str(graph_file), str(events)])
+        assert exit_code == 2
+        assert "no deltas" in capsys.readouterr().err
+
+    def test_stream_unknown_propagator(self, graph_file, events_file, capsys):
+        exit_code = main([
+            "stream", str(graph_file), str(events_file),
+            "--propagator", "nope",
+        ])
+        assert exit_code == 2
+        assert "valid propagators" in capsys.readouterr().err
+
+
+class TestGcCommand:
+    def make_store(self, tmp_path):
+        from repro.runner.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        record = {
+            "hash": "aaa", "status": "ok", "spec": {}, "result": {},
+        }
+        store.append(record)
+        store.append(dict(record, status="error"))
+        store.append({"hash": "bbb", "status": "error", "spec": {}, "result": None})
+        store.write_manifest()
+        return store
+
+    def test_gc_compacts_store(self, tmp_path, capsys):
+        store = self.make_store(tmp_path)
+        exit_code = main(["gc", str(store.directory)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "kept 2 of 3" in output
+        with store.results_path.open("r", encoding="utf-8") as handle:
+            assert sum(1 for line in handle if line.strip()) == 2
+
+    def test_gc_drop_failed(self, tmp_path, capsys):
+        store = self.make_store(tmp_path)
+        exit_code = main(["gc", str(store.directory), "--drop-failed"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "kept 0 of 3" in output
+
+    def test_gc_dry_run_leaves_store_untouched(self, tmp_path, capsys):
+        store = self.make_store(tmp_path)
+        before = store.results_path.read_text(encoding="utf-8")
+        exit_code = main(["gc", str(store.directory), "--dry-run", "--drop-failed"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "would drop" in output
+        assert store.results_path.read_text(encoding="utf-8") == before
+
+    def test_gc_missing_store(self, tmp_path, capsys):
+        exit_code = main(["gc", str(tmp_path / "nope")])
+        assert exit_code == 2
+        assert "not found" in capsys.readouterr().err

@@ -166,3 +166,89 @@ class TestSubgraphs:
         edges = triangle_graph.edge_list()
         assert edges.shape == (4, 2)
         assert np.all(edges[:, 0] < edges[:, 1])
+
+
+class TestSubgraphRemappingWithIsolatedNodes:
+    """Label and seed-index remapping on graphs containing isolated nodes."""
+
+    @pytest.fixture()
+    def graph_with_isolates(self) -> Graph:
+        # Component A: 0-1-2 (labels 0,1,0); isolated: 3 (label 1), 6 (-1);
+        # component B: 4-5 (labels 1,1).
+        adjacency = Graph.from_edges([(0, 1), (1, 2), (4, 5)], n_nodes=7).adjacency
+        labels = np.array([0, 1, 0, 1, 1, 1, -1])
+        return Graph(adjacency=adjacency, labels=labels, n_classes=2)
+
+    def test_subgraph_relabels_nodes_contiguously(self, graph_with_isolates):
+        sub = graph_with_isolates.subgraph(np.array([4, 5, 6]))
+        assert sub.n_nodes == 3
+        # Old edge (4, 5) must appear as (0, 1) in the new numbering.
+        assert sub.adjacency[0, 1] == 1.0
+        assert sub.adjacency[2].nnz == 0  # node 6 stays isolated
+
+    def test_subgraph_remaps_labels_including_unknown(self, graph_with_isolates):
+        sub = graph_with_isolates.subgraph(np.array([6, 3, 0]))
+        np.testing.assert_array_equal(sub.labels, [-1, 1, 0])
+
+    def test_subgraph_with_isolated_nodes_keeps_n_classes(self, graph_with_isolates):
+        sub = graph_with_isolates.subgraph(np.array([3, 6]))
+        assert sub.n_classes == 2
+        assert sub.n_edges == 0
+
+    def test_seed_indices_survive_remapping(self, graph_with_isolates):
+        # Seeds given in original ids must select the same nodes after the
+        # subgraph renumbering: original seed 4 becomes index 1 of [2, 4, 5].
+        keep = np.array([2, 4, 5])
+        sub = graph_with_isolates.subgraph(keep)
+        original_seeds = np.array([4])
+        remapped = np.flatnonzero(np.isin(keep, original_seeds))
+        partial = sub.partial_labels(remapped)
+        np.testing.assert_array_equal(partial, [-1, 1, -1])
+
+    def test_lcc_drops_isolated_nodes_and_remaps(self, graph_with_isolates):
+        component = graph_with_isolates.largest_connected_component()
+        assert component.n_nodes == 3
+        np.testing.assert_array_equal(component.labels, [0, 1, 0])
+        # The 0-1-2 path survives under new ids 0-1-2.
+        assert component.adjacency[0, 1] == 1.0
+        assert component.adjacency[1, 2] == 1.0
+        assert component.adjacency[0, 2] == 0.0
+
+    def test_lcc_on_all_isolated_graph(self):
+        adjacency = sp.csr_matrix((4, 4))
+        graph = Graph(adjacency=adjacency, labels=np.array([0, 1, 0, 1]), n_classes=2)
+        component = graph.largest_connected_component()
+        assert component.n_nodes == 1
+
+
+class TestOperatorCacheInvalidation:
+    def test_in_place_mutation_served_stale_until_invalidated(self, triangle_graph):
+        graph = triangle_graph.copy()
+        degrees_before = graph.operators.degrees.copy()
+        # In-place CSR mutation: the cache keys on object identity and
+        # cannot notice this on its own.
+        graph.adjacency.data[:] = 2.0
+        np.testing.assert_allclose(graph.operators.degrees, degrees_before)
+        graph.invalidate_operators()
+        np.testing.assert_allclose(graph.operators.degrees, 2.0 * degrees_before)
+
+    def test_invalidate_without_cache_is_noop(self, triangle_graph):
+        graph = triangle_graph.copy()
+        graph.invalidate_operators()  # nothing cached yet: must not raise
+
+    def test_set_operators_requires_matching_adjacency(self, triangle_graph):
+        from repro.graph.operators import GraphOperators
+
+        graph = triangle_graph.copy()
+        foreign = GraphOperators(triangle_graph.adjacency.copy())
+        with pytest.raises(ValueError, match="different adjacency"):
+            graph.set_operators(foreign)
+        owned = GraphOperators(graph.adjacency)
+        graph.set_operators(owned)
+        assert graph.operators is owned
+
+    def test_replacing_adjacency_object_still_invalidates(self, triangle_graph):
+        graph = triangle_graph.copy()
+        first = graph.operators
+        graph.adjacency = graph.adjacency.copy()
+        assert graph.operators is not first

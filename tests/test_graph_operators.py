@@ -157,3 +157,66 @@ class TestSpectralRadiusMemoization:
             heterophily_graph.adjacency, centered, safety=0.5
         )
         assert cached == pytest.approx(direct, rel=1e-9)
+
+
+class TestDeltaAwareEvolution:
+    def test_evolve_primes_degrees_incrementally(self, heterophily_graph):
+        operators = heterophily_graph.operators
+        _ = operators.degrees  # populate the cache
+        new_adjacency = heterophily_graph.adjacency.copy()
+        new_adjacency.data[:] = new_adjacency.data  # same weights, new object
+        delta = np.zeros(heterophily_graph.n_nodes)
+        evolved = operators.evolve(new_adjacency, delta_degrees=delta)
+        assert "degrees" in evolved._cache
+        np.testing.assert_allclose(evolved.degrees, operators.degrees)
+
+    def test_evolve_applies_degree_delta(self, operators):
+        n = operators.n_nodes
+        _ = operators.degrees
+        delta = np.zeros(n)
+        delta[0] = 2.5
+        evolved = operators.evolve(operators.adjacency, delta_degrees=delta)
+        assert evolved.degrees[0] == pytest.approx(operators.degrees[0] + 2.5)
+
+    def test_evolve_supports_grown_graphs(self, operators):
+        import scipy.sparse as sp
+
+        n = operators.n_nodes
+        _ = operators.degrees
+        grown = sp.csr_matrix((n + 2, n + 2))
+        delta = np.zeros(n + 2)
+        evolved = operators.evolve(grown, delta_degrees=delta)
+        assert evolved.degrees.shape == (n + 2,)
+        np.testing.assert_allclose(evolved.degrees[:n], operators.degrees)
+        np.testing.assert_allclose(evolved.degrees[n:], 0.0)
+
+    def test_evolve_rejects_short_delta(self, operators):
+        import scipy.sparse as sp
+
+        n = operators.n_nodes
+        _ = operators.degrees
+        grown = sp.csr_matrix((n + 2, n + 2))
+        with pytest.raises(ValueError, match="delta_degrees"):
+            operators.evolve(grown, delta_degrees=np.zeros(n))
+
+    def test_evolve_without_cached_degrees_starts_cold(self, heterophily_graph):
+        from repro.graph.operators import GraphOperators
+
+        fresh = GraphOperators(heterophily_graph.adjacency)
+        evolved = fresh.evolve(
+            heterophily_graph.adjacency, delta_degrees=np.zeros(fresh.n_nodes)
+        )
+        assert "degrees" not in evolved._cache
+
+    def test_prime_spectral_radius_skips_computation(self, heterophily_graph, monkeypatch):
+        import repro.propagation.convergence as convergence
+        from repro.graph.operators import GraphOperators
+
+        operators = GraphOperators(heterophily_graph.adjacency)
+        operators.prime_spectral_radius(3.25)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("primed radius should bypass the solver")
+
+        monkeypatch.setattr(convergence, "spectral_radius", boom)
+        assert operators.spectral_radius() == 3.25

@@ -388,3 +388,156 @@ class TestSweepPropagatorPassthrough:
         )
         assert len(result.records) == 1
         assert result.records[0].propagator == "harmonic"
+
+
+class TestWarmStart:
+    """The warm-start contract: same fixed point, resumable, opt-in."""
+
+    @pytest.fixture()
+    def problem(self, heterophily_graph):
+        seeds = stratified_seed_indices(
+            heterophily_graph.labels, fraction=0.1, rng=np.random.default_rng(7)
+        )
+        return heterophily_graph, heterophily_graph.partial_labels(seeds)
+
+    def test_warm_restart_reaches_the_same_fixed_point(self, problem):
+        graph, partial = problem
+        compatibility = skew_compatibility(3, h=3.0)
+        engine = get_propagator("linbp", max_iterations=300, tolerance=1e-12)
+        cold = engine.propagate(graph, partial, compatibility=compatibility)
+        warm = engine.propagate(
+            graph, partial, compatibility=compatibility, warm_start=cold
+        )
+        np.testing.assert_allclose(warm.beliefs, cold.beliefs, atol=1e-10)
+        # Resuming from the fixed point must converge almost immediately.
+        assert warm.n_iterations <= 2
+
+    def test_warm_start_accepts_bare_beliefs(self, problem):
+        graph, partial = problem
+        compatibility = skew_compatibility(3, h=3.0)
+        engine = get_propagator("linbp", max_iterations=300, tolerance=1e-12)
+        cold = engine.propagate(graph, partial, compatibility=compatibility)
+        warm = engine.propagate(
+            graph, partial, compatibility=compatibility, warm_start=cold.beliefs
+        )
+        np.testing.assert_allclose(warm.beliefs, cold.beliefs, atol=1e-8)
+
+    def test_warm_start_shape_mismatch_rejected(self, problem):
+        graph, partial = problem
+        engine = get_propagator("linbp")
+        with pytest.raises(ValueError, match="warm-start beliefs"):
+            engine.propagate(
+                graph, partial,
+                compatibility=skew_compatibility(3, h=3.0),
+                warm_start=np.zeros((3, 3)),
+            )
+
+    def test_unsupported_propagator_silently_ignores_warm_start(self, problem):
+        graph, partial = problem
+        engine = get_propagator("cocitation")
+        cold = engine.propagate(graph, partial)
+        warm = engine.propagate(graph, partial, warm_start=cold)
+        np.testing.assert_array_equal(warm.beliefs, cold.beliefs)
+
+    def test_support_flags(self):
+        expectations = {
+            "linbp": True, "linbp_echo": True, "bp": True, "harmonic": True,
+            "lgc": True, "mrw": True, "cocitation": False,
+        }
+        for name, expected in expectations.items():
+            assert PROPAGATORS[name].supports_warm_start is expected
+
+    def test_bp_result_carries_message_state(self, problem):
+        graph, partial = problem
+        compatibility = skew_compatibility(3, h=3.0)
+        engine = get_propagator("bp", max_iterations=30, tolerance=1e-8)
+        result = engine.propagate(graph, partial, compatibility=compatibility)
+        assert {"messages", "sources", "targets"} <= set(result.state)
+        assert result.state["messages"].shape[0] == graph.adjacency.nnz
+        resumed = engine.propagate(
+            graph, partial, compatibility=compatibility, warm_start=result
+        )
+        assert resumed.n_iterations <= result.n_iterations
+        np.testing.assert_allclose(resumed.beliefs, result.beliefs, atol=1e-5)
+
+    def test_legacy_run_signature_still_works(self, problem):
+        """Pre-warm-start subclasses (5-argument _run) keep functioning."""
+        graph, partial = problem
+
+        class LegacyPropagator(Propagator):
+            name = "test-legacy"
+
+            def _run(self, operators, prior, seed_labels, n_classes, compatibility):
+                return self._dense(prior), 0, True, [], {}
+
+        result = LegacyPropagator().propagate(graph, partial)
+        assert result.converged
+        # warm_start passes through harmlessly: unsupported propagators
+        # (the default) never receive the keyword.
+        again = LegacyPropagator().propagate(graph, partial, warm_start=result)
+        np.testing.assert_array_equal(again.beliefs, result.beliefs)
+
+    def test_mixed_precision_resume_matches_pure_float64(self, problem):
+        graph, partial = problem
+        compatibility = skew_compatibility(3, h=3.0)
+        mixed = get_propagator("linbp", max_iterations=300, tolerance=1e-9)
+        pure = get_propagator(
+            "linbp", max_iterations=300, tolerance=1e-9,
+            mixed_precision_warm=False,
+        )
+        cold = pure.propagate(graph, partial, compatibility=compatibility)
+        # Perturb the start so both paths actually iterate.
+        start = cold.beliefs + 1e-3
+        warm_mixed = mixed.propagate(
+            graph, partial, compatibility=compatibility, warm_start=start
+        )
+        warm_pure = pure.propagate(
+            graph, partial, compatibility=compatibility, warm_start=start
+        )
+        np.testing.assert_allclose(
+            warm_mixed.beliefs, warm_pure.beliefs, atol=1e-7
+        )
+        assert warm_mixed.converged and warm_pure.converged
+
+
+class TestLanczosSpectralState:
+    def test_matches_batch_spectral_radius(self, heterophily_graph):
+        from repro.propagation import lanczos_spectral_state, spectral_radius
+
+        adjacency = heterophily_graph.adjacency
+        state = lanczos_spectral_state(adjacency, max_steps=200, tolerance=1e-12)
+        exact = spectral_radius(adjacency, seed=0)
+        assert state.radius == pytest.approx(exact, rel=1e-8)
+        assert state.vector.shape == (heterophily_graph.n_nodes,)
+        assert np.linalg.norm(state.vector) == pytest.approx(1.0)
+
+    def test_warm_restart_converges_in_few_steps(self, heterophily_graph):
+        from repro.propagation import lanczos_spectral_state
+
+        adjacency = heterophily_graph.adjacency
+        anchor = lanczos_spectral_state(adjacency, max_steps=200, tolerance=1e-12)
+        warm = lanczos_spectral_state(
+            adjacency, v0=anchor.vector, max_steps=60, tolerance=1e-9
+        )
+        assert warm.radius == pytest.approx(anchor.radius, rel=1e-9)
+        assert warm.n_steps <= 5
+
+    def test_empty_matrix(self):
+        from repro.propagation import lanczos_spectral_state
+        import scipy.sparse as sp
+
+        state = lanczos_spectral_state(sp.csr_matrix((0, 0)))
+        assert state.radius == 0.0
+
+    def test_zero_matrix(self):
+        from repro.propagation import lanczos_spectral_state
+        import scipy.sparse as sp
+
+        state = lanczos_spectral_state(sp.csr_matrix((4, 4)), max_steps=10)
+        assert state.radius == 0.0
+
+    def test_wrong_v0_length_rejected(self, heterophily_graph):
+        from repro.propagation import lanczos_spectral_state
+
+        with pytest.raises(ValueError, match="v0"):
+            lanczos_spectral_state(heterophily_graph.adjacency, v0=np.ones(3))

@@ -96,3 +96,78 @@ class TestResultStore:
 
     def test_read_manifest_absent(self, tmp_path):
         assert ResultStore(tmp_path / "store").read_manifest() is None
+
+
+class TestCompaction:
+    def count_lines(self, store: ResultStore) -> int:
+        with store.results_path.open("r", encoding="utf-8") as handle:
+            return sum(1 for line in handle if line.strip())
+
+    def test_superseded_lines_dropped(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa"))
+        store.append(make_record("aaa", label_fraction=0.2))  # shadows the first
+        store.append(make_record("bbb"))
+        assert self.count_lines(store) == 3
+        stats = store.compact()
+        assert stats == {
+            "n_lines_before": 3,
+            "n_kept": 2,
+            "n_dropped_superseded": 1,
+            "n_dropped_failed": 0,
+        }
+        assert self.count_lines(store) == 2
+        # The surviving record is the latest version (index semantics).
+        assert store.get("aaa")["spec"]["label_fraction"] == 0.2
+
+    def test_compaction_preserves_index_semantics(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa"))
+        store.append(make_record("aaa", status="error"))
+        store.compact()
+        # Latest line wins, even when it is a failure (matches --force rules).
+        assert store.get("aaa")["status"] == "error"
+        reloaded = ResultStore(tmp_path / "store")
+        assert reloaded.get("aaa")["status"] == "error"
+        assert len(reloaded) == 1
+
+    def test_drop_failed_removes_error_records(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa"))
+        store.append(make_record("bbb", status="error"))
+        store.append(make_record("ccc", status="timeout"))
+        stats = store.compact(drop_failed=True)
+        assert stats["n_kept"] == 1
+        assert stats["n_dropped_failed"] == 2
+        assert "bbb" not in store and "ccc" not in store
+        # Dropped hashes re-execute on the next grid run (cache miss).
+        assert len(ResultStore(tmp_path / "store")) == 1
+
+    def test_manifest_rewritten_consistently(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa"))
+        store.append(make_record("aaa"))
+        store.append(make_record("bbb", status="error"))
+        store.write_manifest()
+        store.compact(drop_failed=True)
+        manifest = store.read_manifest()
+        assert manifest["n_records"] == 1
+        assert manifest["status_counts"] == {"ok": 1}
+        assert [entry["hash"] for entry in manifest["records"]] == ["aaa"]
+
+    def test_compacting_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        stats = store.compact()
+        assert stats["n_kept"] == 0
+        assert stats["n_lines_before"] == 0
+
+    def test_compacted_file_is_valid_jsonl(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for index in range(5):
+            store.append(make_record(f"h{index}"))
+            store.append(make_record(f"h{index}", label_fraction=0.3))
+        store.compact()
+        with store.results_path.open("r", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert len(records) == 5
+        assert all(record["spec"]["label_fraction"] == 0.3 for record in records)

@@ -1,0 +1,254 @@
+"""Tests for GraphDelta: construction, serialization, and CSR application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.graph import Graph
+from repro.stream.delta import (
+    GraphDelta,
+    apply_delta,
+    read_delta_stream,
+    write_delta_stream,
+)
+
+
+@pytest.fixture()
+def path_graph() -> Graph:
+    # 0 - 1 - 2 - 3 - 4 with labels 0,1,0,1,0
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4)],
+        n_nodes=5,
+        labels=np.array([0, 1, 0, 1, 0]),
+        n_classes=2,
+    )
+
+
+class TestGraphDelta:
+    def test_empty_delta(self):
+        delta = GraphDelta()
+        assert delta.is_empty
+        assert delta.n_changed_edges == 0
+        assert delta.summary() == "empty delta"
+
+    def test_summary_mentions_every_change(self):
+        delta = GraphDelta(
+            add_edges=[[0, 1]],
+            remove_edges=[[2, 3]],
+            add_nodes=2,
+            reveal_nodes=[0],
+            reveal_labels=[1],
+        )
+        summary = delta.summary()
+        assert "+1 edges" in summary
+        assert "-1 edges" in summary
+        assert "+2 nodes" in summary
+        assert "1 labels revealed" in summary
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            GraphDelta(add_edges=[[0, 1], [1, 2]], add_weights=[1.0])
+
+    def test_mismatched_node_labels_rejected(self):
+        with pytest.raises(ValueError, match="node labels"):
+            GraphDelta(add_nodes=2, node_labels=[0])
+
+    def test_mismatched_reveals_rejected(self):
+        with pytest.raises(ValueError, match="reveal"):
+            GraphDelta(reveal_nodes=[0, 1], reveal_labels=[1])
+
+    def test_negative_add_nodes_rejected(self):
+        with pytest.raises(ValueError, match="add_nodes"):
+            GraphDelta(add_nodes=-1)
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            GraphDelta(add_edges=[[0, 1, 2]])
+
+    def test_dict_round_trip(self):
+        delta = GraphDelta(
+            add_edges=[[0, 3], [1, 4]],
+            remove_edges=[[0, 1]],
+            add_nodes=1,
+            node_labels=[1],
+            reveal_nodes=[2],
+            reveal_labels=[0],
+        )
+        rebuilt = GraphDelta.from_dict(delta.to_dict())
+        np.testing.assert_array_equal(rebuilt.add_edges, delta.add_edges)
+        np.testing.assert_array_equal(rebuilt.remove_edges, delta.remove_edges)
+        assert rebuilt.add_nodes == 1
+        np.testing.assert_array_equal(rebuilt.node_labels, delta.node_labels)
+        np.testing.assert_array_equal(rebuilt.reveal_nodes, delta.reveal_nodes)
+        np.testing.assert_array_equal(rebuilt.reveal_labels, delta.reveal_labels)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown delta fields"):
+            GraphDelta.from_dict({"add_edgez": [[0, 1]]})
+
+
+class TestApplyDelta:
+    def test_add_edge(self, path_graph):
+        outcome = apply_delta(path_graph.adjacency, GraphDelta(add_edges=[[0, 4]]))
+        assert outcome.adjacency[0, 4] == 1.0
+        assert outcome.adjacency[4, 0] == 1.0
+        assert outcome.n_added_edges == 1
+        np.testing.assert_array_equal(outcome.touched_nodes, [0, 4])
+        np.testing.assert_allclose(
+            outcome.delta_degrees, [1.0, 0.0, 0.0, 0.0, 1.0]
+        )
+
+    def test_remove_edge(self, path_graph):
+        outcome = apply_delta(path_graph.adjacency, GraphDelta(remove_edges=[[1, 2]]))
+        assert outcome.adjacency[1, 2] == 0.0
+        assert outcome.adjacency.nnz == path_graph.adjacency.nnz - 2
+        np.testing.assert_allclose(
+            outcome.delta_degrees, [0.0, -1.0, -1.0, 0.0, 0.0]
+        )
+
+    def test_add_nodes_grow_shape(self, path_graph):
+        delta = GraphDelta(add_nodes=2, add_edges=[[5, 0], [6, 5]])
+        outcome = apply_delta(path_graph.adjacency, delta)
+        assert outcome.adjacency.shape == (7, 7)
+        assert outcome.adjacency[5, 0] == 1.0
+        assert outcome.adjacency[6, 5] == 1.0
+        assert 5 in outcome.touched_nodes and 6 in outcome.touched_nodes
+
+    def test_input_matrix_unchanged(self, path_graph):
+        before = path_graph.adjacency.copy()
+        apply_delta(path_graph.adjacency, GraphDelta(add_edges=[[0, 2]]))
+        assert (path_graph.adjacency != before).nnz == 0
+
+    def test_matches_batch_rebuild_exactly(self, path_graph):
+        """The incremental CSR must be bitwise-equal to a from_edges rebuild."""
+        delta = GraphDelta(add_edges=[[0, 3], [1, 4]], remove_edges=[[2, 3]])
+        outcome = apply_delta(path_graph.adjacency, delta)
+        surviving = [(0, 1), (1, 2), (3, 4), (0, 3), (1, 4)]
+        rebuilt = Graph.from_edges(surviving, n_nodes=5).adjacency
+        np.testing.assert_array_equal(outcome.adjacency.indptr, rebuilt.indptr)
+        np.testing.assert_array_equal(outcome.adjacency.indices, rebuilt.indices)
+        np.testing.assert_array_equal(outcome.adjacency.data, rebuilt.data)
+
+    def test_strict_duplicate_add_rejected(self, path_graph):
+        with pytest.raises(ValueError, match="already exist"):
+            apply_delta(path_graph.adjacency, GraphDelta(add_edges=[[0, 1]]))
+
+    def test_strict_absent_remove_rejected(self, path_graph):
+        with pytest.raises(ValueError, match="do not exist"):
+            apply_delta(path_graph.adjacency, GraphDelta(remove_edges=[[0, 4]]))
+
+    def test_lenient_duplicate_add_sums_weights(self, path_graph):
+        outcome = apply_delta(
+            path_graph.adjacency, GraphDelta(add_edges=[[0, 1]]), strict=False
+        )
+        assert outcome.adjacency[0, 1] == 2.0
+
+    def test_lenient_absent_remove_is_noop(self, path_graph):
+        outcome = apply_delta(
+            path_graph.adjacency, GraphDelta(remove_edges=[[0, 4]]), strict=False
+        )
+        assert outcome.n_removed_edges == 0
+        assert (outcome.adjacency != path_graph.adjacency).nnz == 0
+
+    def test_self_loop_rejected(self, path_graph):
+        with pytest.raises(ValueError, match="self-loops"):
+            apply_delta(path_graph.adjacency, GraphDelta(add_edges=[[2, 2]]))
+
+    def test_out_of_range_rejected(self, path_graph):
+        with pytest.raises(ValueError, match="outside"):
+            apply_delta(path_graph.adjacency, GraphDelta(add_edges=[[0, 9]]))
+
+    def test_weighted_add(self, path_graph):
+        outcome = apply_delta(
+            path_graph.adjacency,
+            GraphDelta(add_edges=[[0, 2]], add_weights=[2.5]),
+        )
+        assert outcome.adjacency[0, 2] == 2.5
+        assert outcome.delta_degrees[0] == 2.5
+
+    def test_nonpositive_weight_rejected(self, path_graph):
+        with pytest.raises(ValueError, match="positive"):
+            apply_delta(
+                path_graph.adjacency,
+                GraphDelta(add_edges=[[0, 2]], add_weights=[-1.0]),
+            )
+
+    def test_result_is_canonical_csr(self, path_graph):
+        outcome = apply_delta(
+            path_graph.adjacency,
+            GraphDelta(add_edges=[[0, 4], [0, 2]], remove_edges=[[1, 2]]),
+        )
+        assert outcome.adjacency.has_sorted_indices
+        assert np.all(outcome.adjacency.data != 0)
+
+
+class TestDeltaStreamIO:
+    def test_round_trip(self, tmp_path):
+        deltas = [
+            GraphDelta(add_edges=[[0, 1]]),
+            GraphDelta(add_nodes=1, node_labels=[0], reveal_nodes=[5], reveal_labels=[0]),
+            GraphDelta(remove_edges=[[0, 1]]),
+        ]
+        path = write_delta_stream(deltas, tmp_path / "events.jsonl")
+        loaded = read_delta_stream(path)
+        assert len(loaded) == 3
+        np.testing.assert_array_equal(loaded[0].add_edges, [[0, 1]])
+        assert loaded[1].add_nodes == 1
+        np.testing.assert_array_equal(loaded[2].remove_edges, [[0, 1]])
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '# a comment\n\n{"add_edges": [[0, 1]]}\n', encoding="utf-8"
+        )
+        assert len(read_delta_stream(path)) == 1
+
+    def test_malformed_json_reports_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"add_edges": [[0, 1]]}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=":2"):
+            read_delta_stream(path)
+
+
+class TestIntraDeltaDuplicates:
+    def test_strict_rejects_duplicate_adds_within_delta(self, path_graph):
+        with pytest.raises(ValueError, match="more than once"):
+            apply_delta(path_graph.adjacency, GraphDelta(add_edges=[[0, 2], [0, 2]]))
+
+    def test_strict_rejects_duplicate_adds_across_orientations(self, path_graph):
+        with pytest.raises(ValueError, match="more than once"):
+            apply_delta(path_graph.adjacency, GraphDelta(add_edges=[[0, 2], [2, 0]]))
+
+    def test_strict_rejects_duplicate_removals(self, path_graph):
+        with pytest.raises(ValueError, match="remove more than once"):
+            apply_delta(
+                path_graph.adjacency, GraphDelta(remove_edges=[[0, 1], [1, 0]])
+            )
+
+    def test_strict_rejects_add_and_remove_of_same_edge(self, path_graph):
+        with pytest.raises(ValueError, match="adds and removes"):
+            apply_delta(
+                path_graph.adjacency,
+                GraphDelta(add_edges=[[0, 2]], remove_edges=[[2, 0]]),
+            )
+
+    def test_lenient_duplicate_removals_never_go_negative(self, path_graph):
+        outcome = apply_delta(
+            path_graph.adjacency,
+            GraphDelta(remove_edges=[[0, 1], [1, 0]]),
+            strict=False,
+        )
+        assert outcome.n_removed_edges == 1
+        assert outcome.adjacency[0, 1] == 0.0
+        assert outcome.adjacency.nnz == path_graph.adjacency.nnz - 2
+        assert np.all(outcome.adjacency.data > 0)
+
+    def test_lenient_duplicate_adds_sum_within_delta(self, path_graph):
+        outcome = apply_delta(
+            path_graph.adjacency,
+            GraphDelta(add_edges=[[0, 2], [2, 0]]),
+            strict=False,
+        )
+        assert outcome.adjacency[0, 2] == 2.0

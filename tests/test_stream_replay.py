@@ -1,0 +1,138 @@
+"""Tests for the replay evaluation scenario."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.seeding import stratified_seed_labels
+from repro.graph.generator import generate_graph
+from repro.propagation.engine import get_propagator
+from repro.stream import GraphDelta, read_delta_stream, replay_events
+
+
+@pytest.fixture(scope="module")
+def replay_setup():
+    graph = generate_graph(
+        250, 1200, skew_compatibility(3, h=3.0), seed=9, name="replay-test"
+    )
+    compatibility = gold_standard_compatibility(graph)
+    seed_labels = stratified_seed_labels(graph.require_labels(), fraction=0.1, rng=4)
+    rng = np.random.default_rng(11)
+    adjacency = graph.adjacency
+    labels = graph.labels
+
+    deltas = []
+    seen = {(int(u), int(v)) for u, v in graph.edge_list()}
+    for round_index in range(4):
+        edges = []
+        while len(edges) < 5:
+            u, v = (int(x) for x in rng.integers(0, graph.n_nodes, 2))
+            u, v = min(u, v), max(u, v)
+            if u == v or (u, v) in seen or adjacency[u, v] != 0:
+                continue
+            seen.add((u, v))
+            edges.append([u, v])
+        reveal = rng.choice(graph.n_nodes, 2, replace=False)
+        deltas.append(GraphDelta(
+            add_edges=edges,
+            reveal_nodes=reveal,
+            reveal_labels=labels[reveal],
+        ))
+    return graph, compatibility, seed_labels, deltas
+
+
+def run_replay(replay_setup, **kwargs):
+    graph, compatibility, seed_labels, deltas = replay_setup
+    propagator = get_propagator("linbp", max_iterations=300, tolerance=1e-10)
+    return replay_events(
+        graph, deltas, propagator,
+        compatibility=compatibility, seed_labels=seed_labels, **kwargs,
+    )
+
+
+class TestReplay:
+    def test_step_zero_is_the_anchored_full_solve(self, replay_setup):
+        report = run_replay(replay_setup)
+        assert len(report.steps) == 5  # initial solve + 4 deltas
+        assert report.steps[0].mode == "full"
+        assert report.steps[0].delta == "initial solve"
+        assert all(record.mode == "incremental" for record in report.steps[1:])
+
+    def test_accuracy_scored_on_non_seeds(self, replay_setup):
+        report = run_replay(replay_setup)
+        for record in report.steps:
+            assert record.accuracy is not None
+            assert 0.0 <= record.accuracy <= 1.0
+        assert report.final_accuracy == report.steps[-1].accuracy
+
+    def test_scoring_can_be_disabled(self, replay_setup):
+        report = run_replay(replay_setup, score=False)
+        assert all(record.accuracy is None for record in report.steps)
+        assert report.final_accuracy is None
+
+    def test_verification_bounds_deviation(self, replay_setup):
+        report = run_replay(replay_setup, verify_every=1)
+        assert report.max_deviation is not None
+        assert report.max_deviation <= 1e-6
+        assert all(record.deviation is not None for record in report.steps)
+        assert all(record.full_seconds is not None for record in report.steps)
+
+    def test_verify_every_skips_steps(self, replay_setup):
+        report = run_replay(replay_setup, verify_every=2)
+        verified = [r.step for r in report.steps if r.deviation is not None]
+        assert verified == [0, 2, 4]
+
+    def test_report_counts_and_serialization(self, replay_setup):
+        report = run_replay(replay_setup, verify_every=2)
+        assert report.n_full == 1
+        assert report.n_incremental == 4
+        payload = report.to_dict()
+        # The report must be JSON-serializable for the CLI --json path.
+        text = json.dumps(payload)
+        restored = json.loads(text)
+        assert restored["n_steps"] == 5
+        assert restored["n_incremental"] == 4
+        assert len(restored["steps"]) == 5
+
+    def test_original_graph_untouched(self, replay_setup):
+        graph, _, _, _ = replay_setup
+        edges_before = graph.n_edges
+        run_replay(replay_setup)
+        assert graph.n_edges == edges_before
+
+    def test_seed_count_grows_with_reveals(self, replay_setup):
+        report = run_replay(replay_setup)
+        counts = [record.n_seeds for record in report.steps]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0]
+
+
+class TestReplayWithEventFile(object):
+    def test_committed_smoke_events_replay_cleanly(self, tmp_path):
+        """The committed CI event file replays with verified agreement."""
+        from repro.graph.generator import generate_graph as gen
+
+        deltas = read_delta_stream("examples/streams/smoke_events.jsonl")
+        assert len(deltas) >= 5
+        graph = gen(
+            300, 1500, skew_compatibility(3, h=3.0),
+            distribution="uniform", seed=1, name="cli-synthetic",
+        )
+        seed_labels = stratified_seed_labels(
+            graph.require_labels(), fraction=0.1, rng=0
+        )
+        report = replay_events(
+            graph, deltas,
+            get_propagator("linbp", max_iterations=300, tolerance=1e-9),
+            compatibility=gold_standard_compatibility(graph),
+            seed_labels=seed_labels,
+            verify_every=3,
+        )
+        assert report.max_deviation is not None
+        assert report.max_deviation <= 1e-6
+        assert report.n_incremental >= 1
