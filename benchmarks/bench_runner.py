@@ -1,14 +1,20 @@
-"""Micro-benchmark: runner fan-out and cache-replay on a small grid.
+"""Micro-benchmark: runner fan-out, cache-replay, sharding and store backends.
 
-Measures three executions of the same grid (graphs x {MCE, DCEr} x two
-label fractions x repetitions):
+Measures, on the same grid (graphs x {MCE, DCEr} x two label fractions x
+repetitions):
 
 * **serial** — ``n_workers=1``, the baseline the sweeps historically ran at;
 * **parallel** — ``n_workers=N`` over a fresh store, same grid (on a
   multi-core machine this is the fan-out speedup; the result payloads are
   asserted bitwise-equal to the serial run);
 * **cached replay** — the parallel store re-executed, which must touch zero
-  runs and is therefore a pure measure of store/hashing overhead.
+  runs and is therefore a pure measure of store/hashing overhead;
+* **sharded** — the grid split with ``GridSpec.shard`` across 2 and 4
+  concurrent single-worker processes appending into one shared SQLite
+  store (the distributed-execution topology, measured on one machine), the
+  merged records asserted identical to the serial run;
+* **backend appends** — raw append throughput (records/second) of the
+  JSONL and SQLite backends.
 
 Writes ``BENCH_runner.json`` next to the repository root (or to
 ``--output``), extending the performance trajectory started by
@@ -24,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import tempfile
 import time
 from pathlib import Path
@@ -51,6 +58,64 @@ def build_grid(n_nodes: int, n_edges: int, n_repetitions: int) -> GridSpec:
         n_repetitions=n_repetitions,
         base_seed=3,
     )
+
+
+def _run_shard(grid_payload: dict, store_path: str, index: int, n_shards: int) -> None:
+    """Child-process entry point: execute one shard into the shared store."""
+    grid = GridSpec.from_dict(grid_payload)
+    store = ResultStore(store_path)
+    execute_grid(grid.shard(index, n_shards), store=store, n_workers=1)
+    store.close()
+
+
+def bench_shards(grid: GridSpec, store_path: Path, n_shards: int) -> float:
+    """Wall time of ``n_shards`` concurrent shard processes sharing a store."""
+    context = multiprocessing.get_context()
+    workers = [
+        context.Process(
+            target=_run_shard,
+            args=(grid.to_dict(), str(store_path), index, n_shards),
+        )
+        for index in range(n_shards)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+        if worker.exitcode != 0:
+            raise RuntimeError(f"shard worker exited with {worker.exitcode}")
+    return time.perf_counter() - start
+
+
+def bench_backend_appends(n_records: int = 2_000) -> dict:
+    """Raw append throughput (records/second) per backend."""
+    record_template = {
+        "spec": {"estimator": "MCE", "label_fraction": 0.1,
+                 "graph": {"kind": "generate", "name": "bench"}},
+        "status": "ok",
+        "result": {"accuracy": 0.5, "l2_to_gold": 0.1,
+                   "compatibility": [[0.1, 0.6, 0.3]] * 3},
+        "timing": {"total_seconds": 0.01},
+    }
+    throughput = {}
+    with tempfile.TemporaryDirectory(prefix="bench-append-") as tmp:
+        for backend, path in (
+            ("jsonl", Path(tmp) / "jsonl-store"),
+            ("sqlite", Path(tmp) / "store.db"),
+        ):
+            store = ResultStore(path, backend=backend)
+            start = time.perf_counter()
+            for index in range(n_records):
+                store.append(dict(record_template, hash=f"h{index:08d}"))
+            elapsed = time.perf_counter() - start
+            store.close()
+            throughput[backend] = {
+                "n_records": n_records,
+                "seconds": elapsed,
+                "records_per_second": n_records / max(elapsed, 1e-12),
+            }
+    return throughput
 
 
 def bench_runner(n_nodes: int, n_edges: int, n_repetitions: int, n_workers: int) -> dict:
@@ -87,6 +152,24 @@ def bench_runner(n_nodes: int, n_edges: int, n_repetitions: int, n_workers: int)
         replay = execute_grid(grid, store=parallel_store, n_workers=n_workers)
         replay_seconds = time.perf_counter() - start
 
+        serial_payloads = [
+            (record["hash"], record["result"]) for record in serial_store.records()
+        ]
+        shard_results = {}
+        for n_shards in (2, 4):
+            shard_store = Path(tmp) / f"sharded-{n_shards}.db"
+            shard_seconds = bench_shards(grid, shard_store, n_shards)
+            merged = ResultStore(shard_store)
+            shard_mismatch = serial_payloads != [
+                (record["hash"], record["result"]) for record in merged.records()
+            ]
+            merged.close()
+            shard_results[f"{n_shards}_shards"] = {
+                "seconds": shard_seconds,
+                "speedup_vs_serial": serial_seconds / max(shard_seconds, 1e-12),
+                "records_mismatch": shard_mismatch,
+            }
+
     results.update(
         {
             "serial_seconds": serial_seconds,
@@ -97,6 +180,8 @@ def bench_runner(n_nodes: int, n_edges: int, n_repetitions: int, n_workers: int)
             "cached_replay_hits": replay.n_cached,
             "cached_replay_executed": replay.n_executed,
             "replay_speedup": serial_seconds / max(replay_seconds, 1e-12),
+            "sharded": shard_results,
+            "backend_append_throughput": bench_backend_appends(),
         }
     )
     print(
@@ -106,6 +191,17 @@ def bench_runner(n_nodes: int, n_edges: int, n_repetitions: int, n_workers: int)
         f"cached replay {replay_seconds*1e3:.1f} ms "
         f"({replay.n_cached}/{grid.n_runs} hits)"
     )
+    for label, shard in shard_results.items():
+        print(
+            f"  {label.replace('_', ' ')}: {shard['seconds']:.2f}s "
+            f"({shard['speedup_vs_serial']:.2f}x vs serial, "
+            f"mismatch={shard['records_mismatch']})"
+        )
+    for backend, stats in results["backend_append_throughput"].items():
+        print(
+            f"  {backend} appends: {stats['records_per_second']:,.0f} records/s "
+            f"({stats['n_records']} in {stats['seconds']:.3f}s)"
+        )
     return results
 
 

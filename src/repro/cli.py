@@ -1,19 +1,22 @@
 """Command-line interface for the library.
 
-Ten subcommands cover the end-to-end workflow without writing Python:
+Eleven subcommands cover the end-to-end workflow without writing Python:
 
 * ``repro generate``   — create a synthetic graph with planted compatibilities
 * ``repro dataset``    — build one of the real-world dataset stand-ins
 * ``repro summary``    — print structural statistics of a stored graph
 * ``repro estimate``   — estimate the compatibility matrix from sparse labels
 * ``repro experiment`` — run the full estimate-then-propagate experiment
-* ``repro run``        — execute a grid spec through the parallel runner
+* ``repro run``        — execute a grid spec (optionally one shard of it)
 * ``repro report``     — summarize a runner result store as a table
+* ``repro merge``      — union result stores (content-addressed, latest-wins)
 * ``repro gc``         — compact a result store (drop superseded records)
 * ``repro stream``     — replay a JSONL delta stream with incremental propagation
 * ``repro list``       — print the registered propagators and estimators
 
 Graphs are exchanged as ``.npz`` bundles (see :mod:`repro.graph.io`).
+Result stores are JSONL directories or SQLite files (``--backend``, or just
+point ``--store`` at a ``.db`` path).
 
 Examples
 --------
@@ -22,7 +25,9 @@ Examples
     repro experiment graph.npz --method DCEr --fraction 0.01 --json result.json
     repro experiment graph.npz --method DCEr --propagator harmonic
     repro run grid.json --store runs/grid --workers 4
+    repro run grid.json --store runs/grid.db --shard 0/2   # one of two shards
     repro report runs/grid
+    repro merge runs/merged runs/shard-a runs/shard-b.db
     repro gc runs/grid --drop-failed
     repro stream graph.npz events.jsonl --verify-every 5 --json replay.json
 
@@ -61,10 +66,13 @@ from repro.runner import (
     GridSpec,
     ProgressPrinter,
     ResultStore,
+    StoreCorruptionError,
     execute_grid,
+    merge_stores,
     render_store_report,
     summarize_report,
 )
+from repro.runner.backends import backend_names
 
 __all__ = ["main", "build_parser", "CLIError"]
 
@@ -141,7 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("spec", help="grid spec JSON file (see `repro.runner.GridSpec`)")
     run.add_argument("--store", default=None,
-                     help="result store directory (default: runs/<spec name>)")
+                     help="result store: a directory (JSONL backend) or a "
+                          ".db/.sqlite file (default: runs/<spec name>)")
+    run.add_argument("--backend", default=None, choices=backend_names(),
+                     help="store backend (default: inferred from the store path)")
+    run.add_argument("--shard", default=None, metavar="I/N",
+                     help="execute only shard I of N (e.g. 0/2); shards are "
+                          "disjoint, deterministic, and union to the full grid")
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes (default: CPU count, at most 4)")
     run.add_argument("--serial", action="store_true",
@@ -156,15 +170,31 @@ def build_parser() -> argparse.ArgumentParser:
     report = subparsers.add_parser(
         "report", help="summarize a runner result store as a table"
     )
-    report.add_argument("store", help="result store directory written by `repro run`")
+    report.add_argument("store", help="result store (directory or .db file) "
+                                      "written by `repro run`")
     report.add_argument("--metric", default="accuracy",
                         choices=["accuracy", "l2_to_gold", "estimation_seconds",
                                  "propagation_seconds"])
 
+    merge = subparsers.add_parser(
+        "merge", help="union result stores into one (content-addressed, "
+                      "latest-wins)"
+    )
+    merge.add_argument("destination",
+                       help="destination store (created if absent; directory "
+                            "or .db file)")
+    merge.add_argument("sources", nargs="+",
+                       help="source stores, applied in order (later sources "
+                            "win on conflicting hashes)")
+    merge.add_argument("--backend", default=None, choices=backend_names(),
+                       help="destination backend (default: inferred from "
+                            "the path)")
+
     gc = subparsers.add_parser(
         "gc", help="compact a result store: drop superseded duplicate records"
     )
-    gc.add_argument("store", help="result store directory written by `repro run`")
+    gc.add_argument("store", help="result store (directory or .db file) "
+                                  "written by `repro run`")
     gc.add_argument("--drop-failed", action="store_true",
                     help="also drop error/timeout records so those runs retry")
     gc.add_argument("--dry-run", action="store_true",
@@ -246,6 +276,37 @@ def _load_graph(path) -> "object":
         return load_graph_npz(path)
     except Exception as exc:
         raise CLIError(f"could not read graph file {path}: {exc}") from exc
+
+
+def _open_store(path, backend: str | None = None, must_exist: bool = True) -> ResultStore:
+    """Open a result store (either backend) or fail with a clean error."""
+    path = Path(path)
+    if must_exist and not path.exists():
+        raise CLIError(f"result store not found: {path}")
+    try:
+        return ResultStore(path, backend=backend)
+    except (StoreCorruptionError, ValueError) as exc:
+        # ValueError: backend/path-shape mismatch (e.g. --backend jsonl
+        # pointed at a regular file) or an unknown backend name.
+        raise CLIError(str(exc)) from exc
+
+
+def _parse_shard(value: str | None) -> tuple[int, int] | None:
+    """Parse ``--shard I/N`` into ``(index, n_shards)``."""
+    if value is None:
+        return None
+    parts = value.split("/")
+    try:
+        index, n_shards = (int(part) for part in parts)
+    except ValueError:
+        raise CLIError(
+            f"--shard must look like I/N (e.g. 0/2), got {value!r}"
+        ) from None
+    if n_shards < 1 or not 0 <= index < n_shards:
+        raise CLIError(
+            f"--shard index must satisfy 0 <= I < N, got {value!r}"
+        )
+    return index, n_shards
 
 
 # ------------------------------------------------------------------- commands
@@ -338,8 +399,9 @@ def _command_run(args: argparse.Namespace) -> int:
     except (OSError, TypeError, ValueError, json.JSONDecodeError) as exc:
         raise CLIError(f"invalid grid spec {spec_path}: {exc}") from exc
 
-    store_dir = args.store or os.path.join("runs", grid.name)
-    store = ResultStore(store_dir)
+    shard = _parse_shard(args.shard)
+    store_path = args.store or os.path.join("runs", grid.name)
+    store = _open_store(store_path, backend=args.backend, must_exist=False)
     if args.serial:
         n_workers = 1
     elif args.workers is not None:
@@ -349,11 +411,19 @@ def _command_run(args: argparse.Namespace) -> int:
     else:
         n_workers = min(4, os.cpu_count() or 1)
 
-    print(f"grid {grid.name!r}: {grid.n_runs} runs -> {store.directory} "
+    if shard is None:
+        runs = grid.expand()
+        scope = f"{grid.n_runs} runs"
+    else:
+        index, n_shards = shard
+        runs = grid.shard(index, n_shards)
+        scope = f"shard {index}/{n_shards}: {len(runs)} of {grid.n_runs} runs"
+    print(f"grid {grid.name!r}: {scope} -> {store.results_path} "
+          f"[{store.backend_name}] "
           f"({n_workers} worker{'s' if n_workers != 1 else ''})")
-    progress = ProgressPrinter(grid.n_runs, enabled=not args.quiet)
+    progress = ProgressPrinter(len(runs), enabled=not args.quiet)
     report = execute_grid(
-        grid,
+        runs,
         store=store,
         n_workers=n_workers,
         timeout=args.timeout,
@@ -367,35 +437,42 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    store_dir = Path(args.store)
-    if not store_dir.is_dir():
-        raise CLIError(f"result store directory not found: {store_dir}")
-    store = ResultStore(store_dir)
+    store = _open_store(args.store)
     if len(store) == 0:
-        raise CLIError(f"result store {store_dir} is empty")
+        raise CLIError(f"result store {args.store} is empty")
     print(render_store_report(store, metric=args.metric))
     return 0
 
 
+def _command_merge(args: argparse.Namespace) -> int:
+    sources = [_open_store(path) for path in args.sources]
+    destination = _open_store(args.destination, backend=args.backend,
+                              must_exist=False)
+    stats = merge_stores(destination, sources)
+    print(f"merged {stats['n_sources']} store(s) into "
+          f"{destination.results_path} [{destination.backend_name}]: "
+          f"{stats['n_added']} added, {stats['n_identical']} identical, "
+          f"{stats['n_conflicts']} conflict(s) overwritten "
+          f"({len(destination)} records total)")
+    for conflict in stats["conflicts"]:
+        print(f"  conflict {conflict['hash'][:16]}…: "
+              f"{conflict['old_status']} -> {conflict['new_status']}")
+    return 0
+
+
 def _command_gc(args: argparse.Namespace) -> int:
-    store_dir = Path(args.store)
-    if not store_dir.is_dir():
-        raise CLIError(f"result store directory not found: {store_dir}")
-    store = ResultStore(store_dir)
+    store = _open_store(args.store)
     if args.dry_run:
-        n_lines = 0
-        if store.results_path.exists():
-            with store.results_path.open("r", encoding="utf-8") as handle:
-                n_lines = sum(1 for line in handle if line.strip())
+        n_physical = store.n_physical_records()
         n_failed = sum(
             1 for record in store.records() if record.get("status") != "ok"
         ) if args.drop_failed else 0
-        print(f"{store_dir}: {n_lines} lines, {len(store)} live records; "
-              f"compaction would drop {n_lines - len(store)} superseded "
+        print(f"{args.store}: {n_physical} stored records, {len(store)} live; "
+              f"compaction would drop {n_physical - len(store)} superseded "
               f"and {n_failed} failed records")
         return 0
     stats = store.compact(drop_failed=args.drop_failed)
-    print(f"compacted {store_dir}: kept {stats['n_kept']} of "
+    print(f"compacted {args.store}: kept {stats['n_kept']} of "
           f"{stats['n_lines_before']} records "
           f"({stats['n_dropped_superseded']} superseded, "
           f"{stats['n_dropped_failed']} failed dropped); manifest rewritten")
@@ -512,6 +589,7 @@ COMMANDS = {
     "experiment": _command_experiment,
     "run": _command_run,
     "report": _command_report,
+    "merge": _command_merge,
     "gc": _command_gc,
     "stream": _command_stream,
     "list": _command_list,
@@ -524,7 +602,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return COMMANDS[args.command](args)
-    except CLIError as error:
+    except (CLIError, StoreCorruptionError) as error:
+        # StoreCorruptionError can surface after a store was opened cleanly
+        # (write_manifest/compact re-read the backend, which a sibling
+        # writer's crash may have damaged meanwhile) — same clean one-line
+        # contract as corruption detected at open time.
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
 

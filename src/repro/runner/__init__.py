@@ -9,8 +9,10 @@ declarative, cacheable, parallel executions:
 * :mod:`repro.runner.executor` — :func:`execute_grid`: multiprocessing
   fan-out with per-graph batching, per-run timeouts, error capture and
   hash-derived deterministic RNG (parallel == serial, bitwise).
-* :mod:`repro.runner.store` — :class:`ResultStore`: append-only JSONL plus
-  manifest, keyed by content hash, giving skip-if-cached resume.
+* :mod:`repro.runner.store` — :class:`ResultStore`: content-hash-keyed
+  records over pluggable backends (JSONL directory or WAL-mode SQLite
+  file, see :mod:`repro.runner.backends`), giving skip-if-cached resume,
+  safe concurrent shard writers, and :func:`merge_stores` unions.
 * :mod:`repro.runner.progress` — live progress lines and store reports
   rendered through :mod:`repro.eval.reporting`.
 
@@ -39,7 +41,7 @@ from repro.runner.progress import (
     summarize_report,
 )
 from repro.runner.spec import GridSpec, RunSpec, build_graph, content_hash
-from repro.runner.store import ResultStore
+from repro.runner.store import ResultStore, StoreCorruptionError, merge_stores
 
 __all__ = [
     "ExecutionReport",
@@ -49,9 +51,11 @@ __all__ = [
     "RunOutcome",
     "RunSpec",
     "RunTimeoutError",
+    "StoreCorruptionError",
     "build_graph",
     "content_hash",
     "execute_grid",
+    "merge_stores",
     "render_store_report",
     "run_experiment_batches",
     "store_to_sweep",

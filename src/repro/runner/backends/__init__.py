@@ -1,0 +1,239 @@
+"""Pluggable persistence backends for the result store.
+
+:class:`~repro.runner.store.ResultStore` owns the *semantics* of a store —
+the latest-wins in-memory index, manifest contents, compaction policy —
+while a :class:`StoreBackend` owns the *persistence*: where records live on
+disk, how an append becomes durable, and how the physical representation is
+rewritten during compaction.  Two backends ship:
+
+* :class:`~repro.runner.backends.jsonl.JSONLBackend` — the original
+  directory layout (``results.jsonl`` + ``manifest.json``).  Appends are a
+  single ``O_APPEND`` write, so concurrent shard writers never interleave
+  partial lines.
+* :class:`~repro.runner.backends.sqlite.SQLiteBackend` — a single
+  ``store.db`` file in WAL mode with one upsert-per-append, safe for
+  multi-process writers without any external locking.
+
+Backends are selected by path shape (a ``.db``/``.sqlite`` path or an
+existing regular file means SQLite; anything else means a JSONL directory)
+or explicitly by name through ``ResultStore(path, backend="sqlite")`` /
+``repro run --backend sqlite``.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Mapping
+
+__all__ = [
+    "StoreBackend",
+    "StoreCorruptionError",
+    "backend_names",
+    "make_backend",
+    "resolve_backend_name",
+    "write_json_atomic",
+]
+
+#: Path suffixes that select the SQLite backend without an explicit name.
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+class StoreCorruptionError(RuntimeError):
+    """A store's persisted data is damaged beyond the tolerated tail case.
+
+    Raised with the offending location in the message so the operator can
+    inspect (and truncate or restore) the damaged region instead of the
+    store silently dropping results — a dropped record would make the
+    executor re-run the point or, worse, report a grid as smaller than it
+    was.
+    """
+
+
+def write_json_atomic(path: Path, payload: dict) -> Path:
+    """Write ``payload`` as JSON via a temp file + atomic rename.
+
+    A crash mid-write leaves either the previous file or the new one,
+    never a truncated half-document.  The temp name is unique per writer
+    (``mkstemp``), so concurrent shard processes rewriting the shared
+    store's manifest cannot clobber each other's in-flight temp file —
+    last rename wins, and every rename installs a complete document.
+    Used for every manifest/metadata write in both backends.
+    """
+    path = Path(path)
+    handle_fd, temporary = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+class StoreBackend(abc.ABC):
+    """Persistence strategy behind one :class:`ResultStore`.
+
+    Subclasses expose:
+
+    * ``name`` — the registry name (``"jsonl"`` / ``"sqlite"``);
+    * ``results_path`` — the primary data artifact (JSONL file / SQLite db);
+    * ``manifest_path`` — where the JSON manifest summary lives.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------- locations
+    @property
+    @abc.abstractmethod
+    def directory(self) -> Path:
+        """Directory that holds the store's artifacts."""
+
+    @property
+    @abc.abstractmethod
+    def results_path(self) -> Path:
+        """The primary on-disk data artifact."""
+
+    @property
+    @abc.abstractmethod
+    def manifest_path(self) -> Path:
+        """Where the JSON manifest is written."""
+
+    # ------------------------------------------------------------------ data
+    #: Physical record count observed by the most recent load() — lets
+    #: callers that just loaded (e.g. compact) skip a second full parse.
+    n_physical_at_load: int = 0
+
+    def load(self) -> dict[str, dict]:
+        """Read all persisted records into a hash -> record map.
+
+        Built on :meth:`iterate`: later physical records shadow earlier
+        ones for the same hash (latest-wins).  Raises
+        :class:`StoreCorruptionError` when the persisted data is damaged
+        anywhere a crash-during-append cannot explain.
+        """
+        index: dict[str, dict] = {}
+        count = 0
+        for record in self.iterate():
+            count += 1
+            key = record.get("hash")
+            if key:
+                index[key] = record
+        self.n_physical_at_load = count
+        return index
+
+    @abc.abstractmethod
+    def append(self, record: dict) -> None:
+        """Durably persist one record (upsert semantics by ``record["hash"]``).
+
+        Must be safe against concurrent appenders in other processes: two
+        simultaneous appends may interleave *records* but never corrupt
+        each other.
+        """
+
+    @abc.abstractmethod
+    def iterate(self) -> Iterator[dict]:
+        """Yield persisted records in physical order, superseded ones included."""
+
+    def n_physical_records(self) -> int:
+        """Count of persisted records, superseded versions included."""
+        return sum(1 for _ in self.iterate())
+
+    @abc.abstractmethod
+    def compact(self, records: Mapping[str, dict], dropped_hashes: set[str]) -> None:
+        """Atomically reduce the physical storage to ``records``.
+
+        ``records`` is the caller's full surviving index and
+        ``dropped_hashes`` the keys it decided to remove — a backend may
+        rewrite wholesale from ``records`` (JSONL) or delete just
+        ``dropped_hashes`` in place (SQLite; this keeps records appended
+        by concurrent writers after the caller's load, making compaction
+        safe under active appenders).  A crash mid-compaction must leave
+        either the old or the new data, never a mix.
+        """
+
+    # -------------------------------------------------------------- manifest
+    def write_manifest(self, manifest: dict) -> Path:
+        """Atomically persist the manifest summary; returns its path."""
+        return write_json_atomic(self.manifest_path, manifest)
+
+    def read_manifest(self) -> dict | None:
+        """Load the manifest if one was written and parses.
+
+        The manifest is derived data, fully reconstructible from the
+        records — a damaged one (e.g. truncated by a crash predating the
+        atomic-rename writes) reads as absent, so callers regenerate it
+        instead of crashing.
+        """
+        if not self.manifest_path.exists():
+            return None
+        try:
+            manifest = json.loads(
+                self.manifest_path.read_text(encoding="utf-8")
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def close(self) -> None:
+        """Release any held resources (connections, handles)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"{type(self).__name__}({str(self.path)!r})"
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_backend_name(path, backend: str | None = None) -> str:
+    """Pick a backend for ``path``: explicit name first, then path shape.
+
+    * an explicit ``backend`` must be a registered name;
+    * an existing regular file, or a path with a ``.db``/``.sqlite``/
+      ``.sqlite3`` suffix, selects SQLite;
+    * everything else (existing directory or fresh path) selects JSONL.
+    """
+    if backend is not None:
+        if backend not in _REGISTRY:
+            raise ValueError(
+                f"unknown store backend {backend!r}; choose from {backend_names()}"
+            )
+        return backend
+    path = Path(path)
+    if path.is_file():
+        return "sqlite"
+    if path.is_dir():
+        return "jsonl"
+    if path.suffix.lower() in SQLITE_SUFFIXES:
+        return "sqlite"
+    return "jsonl"
+
+
+def make_backend(path, backend: str | None = None) -> StoreBackend:
+    """Instantiate the backend selected by :func:`resolve_backend_name`."""
+    return _REGISTRY[resolve_backend_name(path, backend)](path)
+
+
+# Populated at the bottom to avoid circular imports: the backend modules
+# import the ABC and helpers defined above.
+from repro.runner.backends.jsonl import JSONLBackend  # noqa: E402
+from repro.runner.backends.sqlite import SQLiteBackend  # noqa: E402
+
+_REGISTRY: dict[str, type[StoreBackend]] = {
+    JSONLBackend.name: JSONLBackend,
+    SQLiteBackend.name: SQLiteBackend,
+}

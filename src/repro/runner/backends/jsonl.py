@@ -1,0 +1,217 @@
+"""Directory-of-JSONL store backend (the original on-disk layout).
+
+One directory holds ``results.jsonl`` (one JSON record per line, appended as
+runs finish) and ``manifest.json``.  Two properties make this layout safe
+for concurrent shard writers:
+
+* every append is a **single** ``write(2)`` on an ``O_APPEND`` descriptor,
+  so the kernel serializes whole lines — two processes appending at once
+  interleave records, never bytes within a record;
+* the only tolerated damage is a truncated *final* line (a writer killed
+  mid-append).  An undecodable line anywhere else means real corruption and
+  raises :class:`~repro.runner.backends.StoreCorruptionError` naming the
+  line, instead of silently dropping results.
+
+When load detects a truncated tail, the first subsequent append repairs it:
+the partial line is verified unchanged (under an exclusive ``flock``),
+truncated away, and the fresh record appended — so the store never
+accumulates a garbage line that a later load would flag as mid-file
+corruption.  Writers that opened *before* the crash additionally check the
+file ends with a newline before appending, so their records land on a
+fresh line instead of fusing with the partial one: the damage stays
+localized to the one bad line the corruption error names.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.runner.backends import StoreBackend, StoreCorruptionError
+
+__all__ = ["JSONLBackend", "RESULTS_FILENAME", "MANIFEST_FILENAME"]
+
+RESULTS_FILENAME = "results.jsonl"
+MANIFEST_FILENAME = "manifest.json"
+
+
+class JSONLBackend(StoreBackend):
+    """Append-only ``results.jsonl`` in a store directory."""
+
+    name = "jsonl"
+
+    def __init__(self, path) -> None:
+        super().__init__(path)
+        if self.path.exists() and not self.path.is_dir():
+            raise ValueError(
+                f"jsonl store path {self.path} is a regular file, not a "
+                "directory; a .db/.sqlite file wants --backend sqlite"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        # Set when load() found a truncated final line: the byte offset
+        # where the partial line starts and its content, so the next append
+        # can verify and truncate it away instead of extending it.
+        self._truncated_tail: tuple[int, bytes] | None = None
+
+    # ------------------------------------------------------------- locations
+    @property
+    def directory(self) -> Path:
+        return self.path
+
+    @property
+    def results_path(self) -> Path:
+        return self.path / RESULTS_FILENAME
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / MANIFEST_FILENAME
+
+    # ------------------------------------------------------------------ data
+    def _parse_lines(self) -> Iterator[tuple[int, dict]]:
+        """Yield ``(line_number, record)`` pairs, policing corruption.
+
+        Only an undecodable *final* line is tolerated (crash mid-append);
+        a bad line with valid data after it raises, because silently
+        skipping it would drop a result that other lines prove was once
+        written correctly.
+
+        Streams the file line by line (stores hold thousands of records,
+        each embedding a compatibility matrix — slurping the whole file
+        would double-buffer it in RAM on every load/refresh), keeping only
+        the current candidate bad tail in memory.
+        """
+        if not self.results_path.exists():
+            return
+        # (line number, byte offset, raw bytes to EOF, error detail) of an
+        # undecodable line that MAY be a tolerated truncated tail — unless
+        # a non-empty line follows it.
+        bad: tuple[int, int, bytes, str] | None = None
+        offset = 0
+        number = 0
+        with self.results_path.open("rb") as handle:
+            for raw in handle:
+                number += 1
+                line_offset = offset
+                offset += len(raw)
+                stripped = raw.strip()
+                if not stripped:
+                    if bad is not None:
+                        # Trailing blank bytes ride along with the bad tail
+                        # so the repair truncation covers them too.
+                        bad = (bad[0], bad[1], bad[2] + raw, bad[3])
+                    continue
+                if bad is not None:
+                    bad_number, _, _, detail = bad
+                    raise StoreCorruptionError(
+                        f"{self.results_path}: undecodable JSONL at line "
+                        f"{bad_number} ({detail}); lines after it are "
+                        "intact, so this is mid-file corruption, not a "
+                        "truncated append — inspect the file (or delete "
+                        "that line) before reusing the store"
+                    )
+                try:
+                    record = json.loads(stripped.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    detail = getattr(exc, "msg", str(exc))
+                    bad = (number, line_offset, raw, detail)
+                    continue
+                if not isinstance(record, dict):
+                    raise StoreCorruptionError(
+                        f"{self.results_path}: line {number} is valid JSON "
+                        f"but not an object ({type(record).__name__})"
+                    )
+                yield number, record
+        if bad is not None:
+            # Truncated trailing line: a writer died mid-append.
+            self._truncated_tail = (bad[1], bad[2])
+
+    def load(self) -> dict[str, dict]:
+        self._truncated_tail = None  # re-assessed by the iteration below
+        return super().load()
+
+    def _repair_truncated_tail(self) -> None:
+        """Truncate the partial final line load() detected, if still there.
+
+        Only repairs when the file still ends with exactly the bytes seen at
+        load time — if another process touched the file since, leave it
+        alone and let the next load re-assess.  The verify-and-truncate
+        pair runs under an exclusive ``flock`` so two recovering writers
+        cannot race each other: without it, one could truncate *after* the
+        other already appended a fresh record past the damaged tail,
+        silently deleting it.  (Closing the descriptor releases the lock.)
+        """
+        tail_offset, tail_bytes = self._truncated_tail
+        self._truncated_tail = None
+        descriptor = os.open(self.results_path, os.O_RDWR)
+        try:
+            if fcntl is not None:
+                fcntl.flock(descriptor, fcntl.LOCK_EX)
+            size = os.fstat(descriptor).st_size
+            if size != tail_offset + len(tail_bytes):
+                return
+            os.lseek(descriptor, tail_offset, os.SEEK_SET)
+            if os.read(descriptor, len(tail_bytes)) != tail_bytes:
+                return
+            os.ftruncate(descriptor, tail_offset)
+        finally:
+            os.close(descriptor)
+
+    def append(self, record: dict) -> None:
+        if self._truncated_tail is not None:
+            self._repair_truncated_tail()
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        # A single O_APPEND write is atomic with respect to other appenders
+        # on local filesystems: concurrent shard processes interleave whole
+        # records, never partial lines.
+        descriptor = os.open(
+            self.results_path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            # A *shared* lock: appends run concurrently with each other,
+            # but never overlap a repairer's exclusive verify-and-truncate
+            # — without it, a repair could chop off a record this append
+            # just committed.  (Closing the descriptor releases the lock.)
+            if fcntl is not None:
+                fcntl.flock(descriptor, fcntl.LOCK_SH)
+            # Guard against a sibling writer's crash mid-append: if the file
+            # does not end with a newline, start on a fresh line so this
+            # record never fuses with the partial one (which stays isolated
+            # for the corruption check / tail repair to deal with).  A racing
+            # proper append in between merely yields a harmless blank line.
+            size = os.fstat(descriptor).st_size
+            if (
+                size > 0
+                and hasattr(os, "pread")
+                and os.pread(descriptor, 1, size - 1) != b"\n"
+            ):
+                data = b"\n" + data
+            written = os.write(descriptor, data)
+        finally:
+            os.close(descriptor)
+        if written != len(data):  # pragma: no cover - local fs writes whole
+            raise OSError(
+                f"short append to {self.results_path}: {written}/{len(data)} bytes"
+            )
+
+    def iterate(self) -> Iterator[dict]:
+        for _, record in self._parse_lines():
+            yield record
+
+    def compact(self, records: Mapping[str, dict], dropped_hashes: set[str]) -> None:
+        # Wholesale rewrite from the caller's index: records a concurrent
+        # writer appends between that load and the rename below are lost,
+        # so gc a JSONL store only when its shard writers are quiescent
+        # (the SQLite backend deletes in place and has no such caveat).
+        temporary = self.results_path.with_suffix(".jsonl.tmp")
+        with temporary.open("w", encoding="utf-8") as handle:
+            for key in sorted(records):
+                handle.write(json.dumps(records[key], sort_keys=True) + "\n")
+        temporary.replace(self.results_path)
+        self._truncated_tail = None

@@ -1,0 +1,151 @@
+"""SQLite store backend: one ``store.db`` file, safe for multi-process writes.
+
+The database holds a single ``results`` table keyed by the run's content
+hash, with the full JSON record as the value.  Three pragmas make it a
+drop-in shared result fabric:
+
+* ``journal_mode=WAL`` — readers never block the writer and vice versa, so
+  shard processes can append while ``repro report`` reads;
+* ``synchronous=NORMAL`` — WAL's durable-enough setting: a crash loses at
+  most the last transactions, never corrupts the database;
+* ``busy_timeout`` — concurrent appenders queue behind SQLite's write lock
+  instead of failing with ``database is locked``.
+
+Appends are upserts, so re-running with ``--force`` replaces the row in
+place — unlike JSONL there are never superseded physical records, and
+compaction only has failed-record dropping (plus a ``VACUUM``) to do.
+
+The manifest lives next to the database as ``<name>.manifest.json`` (e.g.
+``store.db.manifest.json``) so CI artifact uploads and humans read the same
+JSON summary regardless of backend.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.runner.backends import StoreBackend, StoreCorruptionError
+
+__all__ = ["SQLiteBackend"]
+
+BUSY_TIMEOUT_SECONDS = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    hash   TEXT PRIMARY KEY,
+    record TEXT NOT NULL
+)
+"""
+
+
+class SQLiteBackend(StoreBackend):
+    """WAL-mode SQLite file with one upsert per result record."""
+
+    name = "sqlite"
+
+    def __init__(self, path) -> None:
+        super().__init__(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection: sqlite3.Connection | None = None
+        self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._connection is None:
+            try:
+                connection = sqlite3.connect(
+                    self.path,
+                    timeout=BUSY_TIMEOUT_SECONDS,
+                    isolation_level=None,  # autocommit: one append, one txn
+                )
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+                connection.execute(_SCHEMA)
+            except sqlite3.DatabaseError as exc:
+                raise StoreCorruptionError(
+                    f"{self.path}: not a readable SQLite database ({exc})"
+                ) from exc
+            self._connection = connection
+        return self._connection
+
+    # ------------------------------------------------------------- locations
+    @property
+    def directory(self) -> Path:
+        return self.path.parent
+
+    @property
+    def results_path(self) -> Path:
+        return self.path
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".manifest.json")
+
+    # ------------------------------------------------------------------ data
+    def _decode(self, key: str, payload: str) -> dict:
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: row {key!r} holds undecodable JSON ({exc.msg})"
+            ) from exc
+        if not isinstance(record, dict):
+            raise StoreCorruptionError(
+                f"{self.path}: row {key!r} is valid JSON but not an object "
+                f"({type(record).__name__})"
+            )
+        return record
+
+    def append(self, record: dict) -> None:
+        self._connect().execute(
+            "INSERT INTO results (hash, record) VALUES (?, ?) "
+            "ON CONFLICT(hash) DO UPDATE SET record = excluded.record",
+            (record["hash"], json.dumps(record, sort_keys=True)),
+        )
+
+    def iterate(self) -> Iterator[dict]:
+        # Fetch eagerly: a lazy generator would defer the execute() past
+        # this try/except and leak raw sqlite3 errors to load() callers.
+        try:
+            rows = self._connect().execute(
+                "SELECT hash, record FROM results ORDER BY rowid"
+            ).fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise StoreCorruptionError(
+                f"{self.path}: could not read results table ({exc})"
+            ) from exc
+        return iter([self._decode(key, payload) for key, payload in rows])
+
+    def n_physical_records(self) -> int:
+        (count,) = self._connect().execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()
+        return int(count)
+
+    def compact(self, records: Mapping[str, dict], dropped_hashes: set[str]) -> None:
+        # Upserts keep one latest row per hash, so the surviving set is
+        # simply "everything minus the dropped hashes" — deleting those in
+        # one transaction (instead of rewriting the table from the caller's
+        # snapshot) means rows appended by concurrent shard writers since
+        # that snapshot survive compaction untouched.
+        connection = self._connect()
+        with connection:  # one transaction: either all deletes or none
+            connection.execute("BEGIN IMMEDIATE")
+            connection.executemany(
+                "DELETE FROM results WHERE hash = ?",
+                [(key,) for key in sorted(dropped_hashes)],
+            )
+        try:
+            # Space reclaim is cosmetic; VACUUM needs exclusive access and
+            # must not fail the gc when shard writers are actively
+            # appending (the deletes above already committed).
+            connection.execute("VACUUM")
+        except sqlite3.OperationalError:
+            pass
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None

@@ -51,6 +51,7 @@ __all__ = [
     "execute_grid",
     "run_experiment_batches",
     "RunTimeoutError",
+    "TimeoutUnsupportedError",
 ]
 
 
@@ -71,29 +72,52 @@ class RunTimeoutError(Exception):
     """Raised inside a worker when a single run exceeds its time budget."""
 
 
+class TimeoutUnsupportedError(RuntimeError):
+    """A per-run timeout was requested where SIGALRM cannot enforce it.
+
+    Deliberately NOT captured as a per-run ``error`` record: it is a usage
+    error of the whole execution, not a property of one run, and silently
+    recording every run as failed would bury it.
+    """
+
+
 def _call_with_timeout(function: Callable, timeout: float | None):
     """Call ``function()`` under a SIGALRM-based wall-clock budget.
 
-    Falls back to an unbounded call when no timeout is requested, the
-    platform lacks ``SIGALRM``, or we are not on the main thread (signal
-    handlers can only be installed there).
+    Falls back to an unbounded call when no timeout is requested or the
+    platform lacks ``SIGALRM`` (nothing to enforce it with).  A timeout
+    requested off the main thread raises immediately: signal handlers can
+    only be installed on the main thread, and silently running without the
+    budget would let a hung run stall the whole grid.
+
+    The previous handler and itimer are restored on *every* exit path —
+    normal return, the run raising, or the timeout firing — with the timer
+    cleared before the handler is swapped back so a pending alarm can
+    never reach the caller's old handler.
     """
-    if (
-        not timeout
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not timeout:
         return function()
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - POSIX-only gap
+        return function()
+    if threading.current_thread() is not threading.main_thread():
+        raise TimeoutUnsupportedError(
+            "per-run timeouts use SIGALRM, which Python only allows on the "
+            "main thread; call execute_grid from the main thread, use "
+            "n_workers > 1 (workers run on their own main threads), or "
+            "pass timeout=None"
+        )
 
     def _alarm(signum, frame):
         raise RunTimeoutError(f"run exceeded the {timeout:g}s budget")
 
     previous = signal.signal(signal.SIGALRM, _alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return function()
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            return function()
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
@@ -225,6 +249,8 @@ def _execute_one(graph: Graph, spec: RunSpec, timeout: float | None) -> RunOutco
             timing={"total_seconds": time.perf_counter() - started},
             worker_pid=os.getpid(),
         )
+    except TimeoutUnsupportedError:
+        raise  # execution-level usage error, not a per-run failure
     except Exception:
         return RunOutcome(
             spec=spec,
@@ -379,7 +405,19 @@ def execute_grid(
                 _absorb(_execute_batch(batch))
 
     if store is not None:
-        store.write_manifest()
+        # A pure cache replay appended nothing, so a manifest that matches
+        # the store can be kept as-is, sparing replays the full store
+        # re-read that write_manifest's refresh implies.  A missing,
+        # unparseable, or stale manifest (e.g. a prior execution crashed
+        # after appending but before its manifest write) is regenerated.
+        manifest = store.read_manifest() if not pending else None
+        if (
+            pending
+            or manifest is None
+            or manifest.get("n_records") != len(store)
+            or manifest.get("status_counts") != store.status_counts()
+        ):
+            store.write_manifest()
 
     completed = [outcome for outcome in outcomes if outcome is not None]
     n_errors = sum(1 for outcome in completed if outcome.status in ("error", "timeout"))

@@ -341,6 +341,35 @@ class GridSpec:
                             )
         return runs
 
+    def shard(self, index: int, n_shards: int) -> list[RunSpec]:
+        """Deterministically partition the grid's runs into ``n_shards`` parts.
+
+        A run belongs to the shard its content hash maps to, so the
+        partition depends only on the grid's description: every process
+        computes the same split, shards are disjoint, and their union is
+        exactly :meth:`expand`.  Combined with a shared (or later merged)
+        store, ``shard(i, n)`` is how one grid spreads across machines —
+        the content-addressed keys make the results trivially mergeable.
+
+        Hashing (rather than round-robin over the expansion order) keeps
+        the assignment stable under grid edits: adding a graph config or an
+        estimator never moves existing runs between shards, so per-machine
+        caches stay warm.
+        """
+        index = int(index)
+        n_shards = int(n_shards)
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if not 0 <= index < n_shards:
+            raise ValueError(
+                f"shard index must be in [0, {n_shards}), got {index}"
+            )
+        return [
+            run
+            for run in self.expand()
+            if int(run.content_hash[:16], 16) % n_shards == index
+        ]
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,

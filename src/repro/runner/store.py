@@ -1,72 +1,102 @@
-"""Content-addressed on-disk result store: append-only JSONL plus manifest.
+"""Content-addressed result store with pluggable persistence backends.
 
-One store directory holds the results of any number of grid executions:
+One store holds the results of any number of grid executions, keyed purely
+by run content hash — so a store can be shared between grids, worker
+machines, or shard processes, and merging two stores is a set union.  The
+store layer owns the *semantics*:
 
-* ``results.jsonl`` — one JSON record per completed run, appended as runs
-  finish.  Each record carries the run's content hash, its full spec, the
-  deterministic result payload, and the non-deterministic extras (timings,
-  worker pid) kept separate so two executions of the same spec produce
-  byte-identical ``result`` payloads.
-* ``manifest.json`` — a small index written after every execution: record
-  count, status tally, and one summary line per hash.  CI uploads this file
-  as a build artifact; humans read it to see what a store contains without
-  parsing the JSONL.
+* a latest-wins in-memory index rebuilt from the backend at open time;
+* the manifest summary (record count, status tally, one line per hash) that
+  CI uploads as a build artifact;
+* compaction policy (``repro gc``): one live record per hash, optionally
+  dropping failed records so they re-execute;
+* :func:`merge_stores` — the content-addressed union behind ``repro merge``.
+
+Persistence lives behind :class:`~repro.runner.backends.StoreBackend`:
+
+* ``jsonl`` (default) — a directory with ``results.jsonl`` +
+  ``manifest.json``; appends are single ``O_APPEND`` writes, safe for
+  concurrent shard writers;
+* ``sqlite`` — a single WAL-mode database file with upsert-by-hash appends.
+
+The backend is chosen from the path shape (``store.db`` → SQLite, a
+directory → JSONL) or pinned explicitly with ``ResultStore(path,
+backend="sqlite")``.
 
 The store is the cache behind skip-if-cached resume: the executor asks
 :meth:`ResultStore.__contains__` for every expanded run hash and only
-executes the misses.  Records are keyed purely by the spec hash, so a store
-can be shared between grids, machines, or future distributed shards — append
-order carries no meaning.
+executes the misses.  Append order carries no meaning.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
-__all__ = ["ResultStore", "RESULTS_FILENAME", "MANIFEST_FILENAME"]
+from repro.runner.backends import StoreCorruptionError, make_backend
+from repro.runner.backends.jsonl import MANIFEST_FILENAME, RESULTS_FILENAME
+from repro.runner.spec import canonical_json
 
-RESULTS_FILENAME = "results.jsonl"
-MANIFEST_FILENAME = "manifest.json"
+__all__ = [
+    "ResultStore",
+    "StoreCorruptionError",
+    "merge_stores",
+    "RESULTS_FILENAME",
+    "MANIFEST_FILENAME",
+]
+
 STORE_VERSION = 1
 
 
 class ResultStore:
-    """Directory-backed map from run content hash to result record.
+    """Backend-backed map from run content hash to result record.
 
-    Opening a store re-reads ``results.jsonl`` into an in-memory index;
-    appends go straight to disk (line-buffered, one fsync-free write per
-    record) and update the index.  A record written twice for the same hash
-    keeps the latest version in the index — re-running with ``--force``
-    simply shadows the old line.
+    Opening a store reads every persisted record into an in-memory index;
+    appends go straight to the backend and update the index.  A record
+    written twice for the same hash keeps the latest version — re-running
+    with ``--force`` simply shadows the old one.
+
+    Parameters
+    ----------
+    path:
+        Store location: a directory (JSONL backend) or a ``.db``/
+        ``.sqlite`` file (SQLite backend).
+    backend:
+        Explicit backend name (``"jsonl"`` / ``"sqlite"``) overriding the
+        path-shape heuristic.
     """
 
-    def __init__(self, directory) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.results_path = self.directory / RESULTS_FILENAME
-        self.manifest_path = self.directory / MANIFEST_FILENAME
-        self._index: dict[str, dict] = {}
-        self._load()
+    def __init__(self, path, backend: str | None = None) -> None:
+        self.path = Path(path)
+        self.backend = make_backend(self.path, backend)
+        self._index: dict[str, dict] = self.backend.load()
 
-    # ----------------------------------------------------------------- load
-    def _load(self) -> None:
-        if not self.results_path.exists():
-            return
-        with self.results_path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A truncated trailing line (killed run) must not brick
-                    # the store; everything before it is still valid.
-                    continue
-                key = record.get("hash")
-                if key:
-                    self._index[key] = record
+    # ----------------------------------------------------------- delegation
+    @property
+    def backend_name(self) -> str:
+        """Name of the persistence backend (``"jsonl"`` / ``"sqlite"``)."""
+        return self.backend.name
+
+    @property
+    def directory(self) -> Path:
+        """Directory holding the store's artifacts (the parent for SQLite)."""
+        return self.backend.directory
+
+    @property
+    def results_path(self) -> Path:
+        """The primary data artifact (JSONL file or SQLite database)."""
+        return self.backend.results_path
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.backend.manifest_path
+
+    def refresh(self) -> None:
+        """Re-read the backend, picking up records other processes appended."""
+        self._index = self.backend.load()
+
+    def close(self) -> None:
+        """Release backend resources (SQLite connection; no-op for JSONL)."""
+        self.backend.close()
 
     # ------------------------------------------------------------ dict-like
     def __contains__(self, run_hash: str) -> bool:
@@ -87,14 +117,17 @@ class ResultStore:
         """All records, sorted by hash for a deterministic listing."""
         return [self._index[key] for key in self.hashes()]
 
+    def n_physical_records(self) -> int:
+        """Persisted record count, superseded versions included."""
+        return self.backend.n_physical_records()
+
     # ---------------------------------------------------------------- write
     def append(self, record: dict) -> None:
         """Persist one result record (must carry a ``"hash"`` key)."""
         key = record.get("hash")
         if not key:
             raise ValueError("result record needs a 'hash' key")
-        with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.backend.append(record)
         self._index[key] = record
 
     def status_counts(self) -> dict[str, int]:
@@ -105,8 +138,18 @@ class ResultStore:
             counts[status] = counts.get(status, 0) + 1
         return counts
 
-    def write_manifest(self, extra: dict | None = None) -> Path:
-        """(Re)write ``manifest.json`` summarizing the store's contents."""
+    def write_manifest(self, extra: dict | None = None, refresh: bool = True) -> Path:
+        """(Re)write the manifest summarizing the store's contents.
+
+        With ``refresh=True`` (the default) the index is first re-read from
+        the backend, so a manifest written at the end of one shard's
+        execution covers every record other shards persisted in the
+        meantime, not just this process's view.  The write itself goes
+        through a temp file + atomic rename — a crash mid-write leaves the
+        previous manifest intact, never a truncated one.
+        """
+        if refresh:
+            self.refresh()
         entries = []
         for key in self.hashes():
             record = self._index[key]
@@ -125,43 +168,46 @@ class ResultStore:
             )
         manifest = {
             "version": STORE_VERSION,
+            "backend": self.backend_name,
             "n_records": len(self._index),
             "status_counts": self.status_counts(),
             "records": entries,
         }
         if extra:
             manifest.update(extra)
-        self.manifest_path.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
-        return self.manifest_path
+        return self.backend.write_manifest(manifest)
 
     def compact(self, drop_failed: bool = False) -> dict:
-        """Garbage-collect the JSONL: one line per hash, manifest refreshed.
+        """Garbage-collect the store: one record per hash, manifest refreshed.
 
-        Long-lived stores accumulate superseded lines — every ``--force``
-        re-run and every retried failure appends a new record that shadows
-        the previous one for the same hash.  Compaction rewrites
-        ``results.jsonl`` with exactly the records the in-memory index
-        already serves (latest line per hash, i.e. semantics are unchanged),
-        drops everything shadowed, and rewrites the manifest to match.
+        JSONL stores accumulate superseded lines — every ``--force`` re-run
+        and every retried failure appends a new record that shadows the
+        previous one for the same hash; compaction rewrites the file with
+        exactly the records the index already serves.  SQLite stores upsert
+        in place, so they never hold superseded versions and compaction
+        only drops failed records (and reclaims file space).
 
         With ``drop_failed=True``, records whose status is not ``"ok"`` are
         removed entirely, so the corresponding runs re-execute on the next
         grid execution instead of surfacing stale errors.
 
-        The rewrite goes through a temporary file in the store directory
-        followed by an atomic replace, so a crash mid-compaction leaves
-        either the old or the new file, never a truncated one.
+        The rewrite is atomic in both backends: a crash mid-compaction
+        leaves either the old or the new data, never a mix.  Under
+        *concurrent appenders*, the SQLite backend is fully safe (it only
+        deletes the dropped hashes, in one transaction); the JSONL backend
+        rewrites the file wholesale from this process's view, so gc a
+        shared JSONL store only while its shard writers are quiescent.
 
         Returns a stats dict: ``n_lines_before``, ``n_kept``,
         ``n_dropped_superseded``, ``n_dropped_failed``.
         """
-        n_lines_before = 0
-        if self.results_path.exists():
-            with self.results_path.open("r", encoding="utf-8") as handle:
-                n_lines_before = sum(1 for line in handle if line.strip())
-
+        # Pick up records concurrent shard writers appended since this
+        # process opened the store — the rewrite below replaces the physical
+        # storage wholesale, so compacting from a stale index would delete
+        # their results.  The load also counts the physical records, saving
+        # a second full parse.
+        self.refresh()
+        n_before = self.backend.n_physical_at_load
         kept: dict[str, dict] = {}
         n_dropped_failed = 0
         for key in self.hashes():
@@ -170,27 +216,83 @@ class ResultStore:
                 n_dropped_failed += 1
                 continue
             kept[key] = record
-
-        temporary = self.results_path.with_suffix(".jsonl.tmp")
-        with temporary.open("w", encoding="utf-8") as handle:
-            for key in sorted(kept):
-                handle.write(json.dumps(kept[key], sort_keys=True) + "\n")
-        temporary.replace(self.results_path)
-
+        self.backend.compact(kept, set(self._index) - set(kept))
         self._index = kept
-        self.write_manifest()
+        self.write_manifest(refresh=False)
         return {
-            "n_lines_before": n_lines_before,
+            "n_lines_before": n_before,
             "n_kept": len(kept),
-            "n_dropped_superseded": n_lines_before - len(kept) - n_dropped_failed,
+            "n_dropped_superseded": n_before - len(kept) - n_dropped_failed,
             "n_dropped_failed": n_dropped_failed,
         }
 
     def read_manifest(self) -> dict | None:
-        """Load ``manifest.json`` if present."""
-        if not self.manifest_path.exists():
-            return None
-        return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        """Load the manifest if present."""
+        return self.backend.read_manifest()
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
-        return f"ResultStore({str(self.directory)!r}, n_records={len(self)})"
+        return (
+            f"ResultStore({str(self.path)!r}, backend={self.backend_name!r}, "
+            f"n_records={len(self)})"
+        )
+
+
+def _record_identity(record: dict) -> tuple:
+    """The deterministic identity of a record, for merge conflict detection.
+
+    Timing and worker pid legitimately differ between two honest
+    executions of the same spec; a "conflict" is only a disagreement on
+    the fields that determinism guarantees (spec, status, result, error).
+    """
+    return tuple(
+        canonical_json(record.get(field))
+        for field in ("hash", "spec", "status", "result", "error")
+    )
+
+
+def merge_stores(destination: ResultStore, sources: list[ResultStore]) -> dict:
+    """Union ``sources`` into ``destination``, latest-wins, reporting conflicts.
+
+    Records are content-addressed, so two stores holding the same hash
+    *should* agree on its deterministic payload (spec, status, result);
+    when they do, the merge skips the copy — nondeterministic timing and
+    worker-pid differences between honest re-executions are not conflicts.
+    When the deterministic payloads differ (a ``--force`` re-run, a
+    retried failure, a records-differ bug), the incoming record wins —
+    sources are applied in order, each overriding the destination and
+    earlier sources — and the hash lands in the conflict report so the
+    caller can audit.
+
+    Returns ``{"n_sources", "n_added", "n_identical", "n_conflicts",
+    "conflicts": [{"hash", "old_status", "new_status"}, ...]}``; the
+    destination manifest is rewritten at the end.
+    """
+    n_added = 0
+    n_identical = 0
+    conflicts: list[dict] = []
+    for source in sources:
+        for record in source.records():
+            key = record["hash"]
+            existing = destination.get(key)
+            if existing is None:
+                destination.append(record)
+                n_added += 1
+            elif _record_identity(existing) == _record_identity(record):
+                n_identical += 1
+            else:
+                conflicts.append(
+                    {
+                        "hash": key,
+                        "old_status": existing.get("status"),
+                        "new_status": record.get("status"),
+                    }
+                )
+                destination.append(record)
+    destination.write_manifest(refresh=False)
+    return {
+        "n_sources": len(sources),
+        "n_added": n_added,
+        "n_identical": n_identical,
+        "n_conflicts": len(conflicts),
+        "conflicts": conflicts,
+    }

@@ -26,14 +26,31 @@ keeping the warm spectral state honest.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.propagation.engine import PropagationResult, Propagator
 
-__all__ = ["IncrementalDecision", "IncrementalPropagator"]
+__all__ = ["IncrementalDecision", "IncrementalPropagator", "delta_edge_fraction"]
 
 FULL_SOLVE_EDGE_FRACTION = 0.05
 RADIUS_DRIFT_TOLERANCE = 0.02
+
+
+def delta_edge_fraction(edges_changed: int, n_edges: int) -> float:
+    """Changed-edge fraction with the empty-graph cases made explicit.
+
+    Dividing by the *current* edge count breaks down when the graph is (or
+    has just become) edgeless: ``0 / 0`` would crash or, as NaN, slip past
+    every ``>`` comparison in the fallback policy and incorrectly warm-start.
+    The convention here: no edges and no changes is ``0.0`` (nothing moved,
+    a warm resume is trivially safe), while changes against an edgeless
+    graph are ``inf`` (there is no base to amortize against — fall back to
+    a full solve).
+    """
+    if n_edges <= 0:
+        return 0.0 if edges_changed <= 0 else float("inf")
+    return edges_changed / n_edges
 
 
 @dataclass
@@ -101,7 +118,11 @@ class IncrementalPropagator:
             reason = "first"
         elif not self.propagator.supports_warm_start:
             reason = "unsupported"
-        elif delta_fraction > self.full_solve_edge_fraction:
+        elif not math.isfinite(delta_fraction) or delta_fraction > self.full_solve_edge_fraction:
+            # Non-finite covers the edgeless-graph conventions of
+            # delta_edge_fraction *and* a NaN from any caller's own 0/0 —
+            # NaN compares False against every threshold, so without this
+            # guard it would silently select a warm start.
             reason = "delta"
         elif radius_drift is not None and radius_drift > self.radius_drift_tolerance:
             reason = "drift"

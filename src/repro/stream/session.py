@@ -38,6 +38,7 @@ from repro.stream.incremental import (
     RADIUS_DRIFT_TOLERANCE,
     IncrementalDecision,
     IncrementalPropagator,
+    delta_edge_fraction,
 )
 
 __all__ = ["StreamStep", "StreamingSession"]
@@ -296,9 +297,7 @@ class StreamingSession:
         spectral_seconds, drift = self._refresh_spectral()
 
         n_edges = self.graph.n_edges
-        delta_fraction = (
-            self._edges_since_anchor / n_edges if n_edges else float("inf")
-        )
+        delta_fraction = delta_edge_fraction(self._edges_since_anchor, n_edges)
         previous = self.last_result
         if previous is not None:
             previous = self._pad_previous(previous)

@@ -418,3 +418,108 @@ class TestGcCommand:
         exit_code = main(["gc", str(tmp_path / "nope")])
         assert exit_code == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestShardedRunAndMerge:
+    @pytest.fixture()
+    def spec_file(self, tmp_path):
+        spec = {
+            "name": "shard-grid",
+            "graphs": [{"kind": "generate", "name": "shard-graph", "n_nodes": 200,
+                        "n_edges": 1000, "n_classes": 3, "h": 3.0, "seed": 4}],
+            "estimators": ["MCE", "LCE"],
+            "label_fractions": [0.05, 0.1],
+            "n_repetitions": 2,
+            "base_seed": 6,
+        }
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_shards_into_shared_store_match_unsharded(self, spec_file, tmp_path, capsys):
+        from repro.runner.store import ResultStore
+
+        unsharded = tmp_path / "unsharded"
+        assert main(["run", str(spec_file), "--store", str(unsharded),
+                     "--serial", "--quiet"]) == 0
+        shared = tmp_path / "shared.db"
+        for index in range(2):
+            assert main(["run", str(spec_file), "--store", str(shared),
+                         "--shard", f"{index}/2", "--serial", "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "shard 0/2" in output and "shard 1/2" in output
+        assert "[sqlite]" in output
+
+        full = ResultStore(unsharded)
+        merged = ResultStore(shared)
+        assert [(r["hash"], r["result"]) for r in merged.records()] == \
+               [(r["hash"], r["result"]) for r in full.records()]
+        # The final shard's manifest covers the whole store.
+        manifest = merged.read_manifest()
+        assert manifest["n_records"] == 8
+
+    def test_merge_command_unions_shard_stores(self, spec_file, tmp_path, capsys):
+        from repro.runner.store import ResultStore
+
+        stores = [tmp_path / "shard-a", tmp_path / "shard-b.db"]
+        for index, store in enumerate(stores):
+            assert main(["run", str(spec_file), "--store", str(store),
+                         "--shard", f"{index}/2", "--serial", "--quiet"]) == 0
+        capsys.readouterr()
+        destination = tmp_path / "merged"
+        assert main(["merge", str(destination)] + [str(s) for s in stores]) == 0
+        output = capsys.readouterr().out
+        assert "8 added, 0 identical, 0 conflict(s)" in output
+        assert len(ResultStore(destination)) == 8
+        # report works on the merged store like on any other.
+        assert main(["report", str(destination)]) == 0
+        assert "records: 8 (8 ok)" in capsys.readouterr().out
+
+    def test_explicit_backend_flag(self, spec_file, tmp_path, capsys):
+        from repro.runner.store import ResultStore
+
+        store = tmp_path / "flat-file"
+        assert main(["run", str(spec_file), "--store", str(store),
+                     "--backend", "sqlite", "--serial", "--quiet"]) == 0
+        assert store.is_file()
+        assert ResultStore(store).backend_name == "sqlite"
+
+    def test_report_and_gc_work_on_sqlite_store(self, spec_file, tmp_path, capsys):
+        store = tmp_path / "store.db"
+        assert main(["run", str(spec_file), "--store", str(store),
+                     "--serial", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        assert "[sqlite]" in capsys.readouterr().out
+        assert main(["gc", str(store), "--dry-run"]) == 0
+        assert "would drop" in capsys.readouterr().out
+        assert main(["gc", str(store)]) == 0
+        assert "manifest rewritten" in capsys.readouterr().out
+
+    def test_invalid_shard_values_exit_cleanly(self, spec_file, tmp_path, capsys):
+        # ("-1/2" is rejected by argparse itself: it looks like an option.)
+        for value in ("banana", "3", "1/0", "2/2", "0/2/4"):
+            assert main(["run", str(spec_file), "--store",
+                         str(tmp_path / "s"), "--shard", value]) == 2
+            error = capsys.readouterr().err
+            assert "--shard" in error
+            assert "Traceback" not in error
+
+    def test_merge_missing_source_exits_cleanly(self, tmp_path, capsys):
+        assert main(["merge", str(tmp_path / "dst"),
+                     str(tmp_path / "missing-src")]) == 2
+        assert "result store not found" in capsys.readouterr().err
+
+    def test_corrupted_store_fails_cleanly(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "results.jsonl").write_text(
+            '{"hash": "aaa", "status": "ok", "spec": {}, "result": {}}\n'
+            "garbage line\n"
+            '{"hash": "bbb", "status": "ok", "spec": {}, "result": {}}\n',
+            encoding="utf-8",
+        )
+        assert main(["report", str(store)]) == 2
+        error = capsys.readouterr().err
+        assert "line 2" in error
+        assert "Traceback" not in error

@@ -299,3 +299,178 @@ class TestSweepPort:
         assert sweep.records == []
         assert sweep_label_sparsity(graph, {"MCE": MCE()}, fractions=[],
                                     seed=0).records == []
+
+
+class TestTimeoutSignalHygiene:
+    """SIGALRM handler/itimer restoration on every exit path."""
+
+    def _install_sentinel(self):
+        import signal
+
+        def sentinel(signum, frame):  # pragma: no cover - never fired
+            raise AssertionError("sentinel handler must not fire")
+
+        return signal.signal(signal.SIGALRM, sentinel), sentinel
+
+    def test_handler_and_timer_restored_after_success(self):
+        import signal
+
+        previous, sentinel = self._install_sentinel()
+        try:
+            assert _call_with_timeout(lambda: 7, timeout=5.0) == 7
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_handler_and_timer_restored_when_run_raises(self):
+        import signal
+
+        previous, sentinel = self._install_sentinel()
+        try:
+            def boom():
+                raise RuntimeError("the run itself failed")
+
+            with pytest.raises(RuntimeError, match="the run itself failed"):
+                _call_with_timeout(boom, timeout=5.0)
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_handler_and_timer_restored_after_timeout_fires(self):
+        import signal
+
+        previous, sentinel = self._install_sentinel()
+        try:
+            with pytest.raises(RunTimeoutError):
+                _call_with_timeout(lambda: time.sleep(5), timeout=0.05)
+            assert signal.getsignal(signal.SIGALRM) is sentinel
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_timeout_off_main_thread_raises_clear_error(self):
+        import threading
+
+        captured = {}
+
+        def target():
+            try:
+                _call_with_timeout(lambda: 1, timeout=1.0)
+            except Exception as exc:  # noqa: BLE001 - recording for assert
+                captured["error"] = exc
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        assert isinstance(captured.get("error"), RuntimeError)
+        assert "main thread" in str(captured["error"])
+
+    def test_no_timeout_off_main_thread_is_fine(self):
+        import threading
+
+        captured = {}
+        thread = threading.Thread(
+            target=lambda: captured.update(value=_call_with_timeout(lambda: 9, None))
+        )
+        thread.start()
+        thread.join()
+        assert captured["value"] == 9
+
+
+class TestBackendEquivalence:
+    """Acceptance: both backends and sharded execution are record-identical."""
+
+    @staticmethod
+    def _payloads(store: ResultStore) -> list[tuple[str, dict]]:
+        # The deterministic identity of a store: hashes + result payloads
+        # (timing and worker pids legitimately differ between executions).
+        return [(record["hash"], record["result"]) for record in store.records()]
+
+    def test_jsonl_and_sqlite_records_identical(self, grid, tmp_path):
+        jsonl_store = ResultStore(tmp_path / "jsonl-store")
+        sqlite_store = ResultStore(tmp_path / "sqlite-store.db")
+        assert jsonl_store.backend_name == "jsonl"
+        assert sqlite_store.backend_name == "sqlite"
+        execute_grid(grid, store=jsonl_store, n_workers=1)
+        execute_grid(grid, store=sqlite_store, n_workers=1)
+        assert self._payloads(jsonl_store) == self._payloads(sqlite_store)
+        # Statuses and specs round-trip identically too.
+        for a, b in zip(jsonl_store.records(), sqlite_store.records()):
+            assert a["status"] == b["status"] == "ok"
+            assert a["spec"] == b["spec"]
+
+    @pytest.mark.parametrize("backend_path", ["shared", "shared.db"])
+    def test_two_shard_run_record_identical_to_unsharded(
+        self, grid, tmp_path, backend_path
+    ):
+        unsharded = ResultStore(tmp_path / "unsharded")
+        execute_grid(grid, store=unsharded, n_workers=1)
+
+        shared = ResultStore(tmp_path / backend_path)
+        for index in range(2):
+            # Separate handles, as separate shard processes would hold.
+            shard_store = ResultStore(tmp_path / backend_path)
+            report = execute_grid(
+                grid.shard(index, 2), store=shard_store, n_workers=1
+            )
+            assert report.n_errors == 0
+        shared.refresh()
+        assert self._payloads(shared) == self._payloads(unsharded)
+
+    def test_shard_resume_skips_other_shards_results(self, grid, tmp_path):
+        # After both shards ran into one store, re-running the FULL grid
+        # against it is 100% cache hits: sharding left no gaps.
+        store = ResultStore(tmp_path / "store.db")
+        for index in range(2):
+            execute_grid(grid.shard(index, 2), store=store, n_workers=1)
+        store.refresh()
+        report = execute_grid(grid, store=store, n_workers=1)
+        assert report.n_cached == grid.n_runs
+        assert report.n_executed == 0
+
+
+class TestExecuteGridOffMainThread:
+    def test_serial_timeout_off_main_thread_fails_fast(self, grid, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path / "store")
+        captured = {}
+
+        def target():
+            try:
+                execute_grid(grid, store=store, n_workers=1, timeout=30.0)
+            except Exception as exc:  # noqa: BLE001 - recording for assert
+                captured["error"] = exc
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        assert isinstance(captured.get("error"), RuntimeError)
+        assert "main thread" in str(captured["error"])
+        # Nothing was executed or persisted as a bogus error record.
+        assert len(store) == 0
+
+
+class TestManifestMaintenance:
+    def test_pure_replay_skips_manifest_rewrite(self, grid, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        execute_grid(grid, store=store, n_workers=1)
+        before = store.manifest_path.stat().st_mtime_ns
+        replay_store = ResultStore(tmp_path / "store")
+        report = execute_grid(grid, store=replay_store, n_workers=1)
+        assert report.n_cached == grid.n_runs
+        assert store.manifest_path.stat().st_mtime_ns == before
+
+    def test_stale_manifest_regenerated_on_replay(self, grid, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        execute_grid(grid, store=store, n_workers=1)
+        # Simulate a later execution that crashed after appending a record
+        # but before its manifest write.
+        record = dict(store.records()[0], hash="f" * 64)
+        store.append(record)
+        stale = ResultStore(tmp_path / "store")
+        assert stale.read_manifest()["n_records"] == grid.n_runs  # stale
+        execute_grid(grid, store=stale, n_workers=1)  # pure replay
+        assert stale.read_manifest()["n_records"] == grid.n_runs + 1

@@ -184,3 +184,65 @@ class TestBuildGraph:
     def test_graph_config_hash_ignores_key_order(self):
         config = small_graph_config()
         assert content_hash(config) == content_hash(dict(reversed(list(config.items()))))
+
+
+class TestSharding:
+    """GridSpec.shard: deterministic, disjoint, union == expand()."""
+
+    def test_union_of_shards_is_full_grid_no_overlap(self, grid):
+        full = {run.content_hash for run in grid.expand()}
+        for n_shards in (1, 2, 3, 5):
+            shards = [grid.shard(index, n_shards) for index in range(n_shards)]
+            hashes = [
+                {run.content_hash for run in shard} for shard in shards
+            ]
+            assert sum(len(shard) for shard in hashes) == len(full)  # disjoint
+            union = set().union(*hashes)
+            assert union == full
+
+    def test_partition_is_deterministic(self, grid):
+        first = [run.content_hash for run in grid.shard(1, 3)]
+        second = [run.content_hash for run in grid.shard(1, 3)]
+        assert first == second
+        # A freshly built equal grid computes the same split (no process
+        # state involved): this is what lets every machine agree.
+        rebuilt = GridSpec.from_dict(grid.to_dict())
+        assert [run.content_hash for run in rebuilt.shard(1, 3)] == first
+
+    def test_shards_preserve_expansion_order(self, grid):
+        expansion = [run.content_hash for run in grid.expand()]
+        shard = [run.content_hash for run in grid.shard(0, 2)]
+        positions = [expansion.index(value) for value in shard]
+        assert positions == sorted(positions)
+
+    def test_single_shard_is_whole_grid(self, grid):
+        assert [run.content_hash for run in grid.shard(0, 1)] == [
+            run.content_hash for run in grid.expand()
+        ]
+
+    def test_assignment_stable_under_grid_growth(self, grid):
+        # Adding an estimator must not move existing runs between shards.
+        before = {
+            run.content_hash: shard_index
+            for shard_index in range(4)
+            for run in grid.shard(shard_index, 4)
+        }
+        grown = GridSpec.from_dict(
+            {**grid.to_dict(), "estimators": ["MCE",
+             {"name": "DCE", "kwargs": {"max_length": 3}}, "LCE"]}
+        )
+        after = {
+            run.content_hash: shard_index
+            for shard_index in range(4)
+            for run in grown.shard(shard_index, 4)
+        }
+        for run_hash, shard_index in before.items():
+            assert after[run_hash] == shard_index
+
+    def test_invalid_shard_arguments(self, grid):
+        with pytest.raises(ValueError, match="n_shards"):
+            grid.shard(0, 0)
+        with pytest.raises(ValueError, match="shard index"):
+            grid.shard(2, 2)
+        with pytest.raises(ValueError, match="shard index"):
+            grid.shard(-1, 2)

@@ -368,3 +368,63 @@ class TestApplyValidationAndCacheRetention:
         assert step.mode == "incremental"
         assert session.graph.operators is operators_before
         assert session.graph.operators.symmetric_normalized is normalized_before
+
+
+class TestEdgelessGraphRegression:
+    """A stream starting from an edgeless graph must not crash (issue #4).
+
+    ``delta_fraction`` divides by the *current* edge count; on an empty or
+    just-emptied graph that is a 0-division whose NaN/inf outcome must fall
+    back to a full solve, never slip past the policy into a warm start.
+    """
+
+    @staticmethod
+    def _edgeless_graph(n_nodes: int = 6) -> Graph:
+        import scipy.sparse as sparse
+
+        labels = np.arange(n_nodes) % 3
+        return Graph(
+            adjacency=sparse.csr_matrix((n_nodes, n_nodes)),
+            labels=labels,
+            n_classes=3,
+            name="edgeless",
+        )
+
+    def _session(self, graph: Graph) -> StreamingSession:
+        propagator = get_propagator("linbp", max_iterations=100, tolerance=1e-10)
+        seeds = graph.partial_labels(np.array([0, 1, 2]))
+        return StreamingSession(
+            graph, propagator, compatibility=np.eye(3), seed_labels=seeds
+        )
+
+    def test_stream_from_edgeless_graph_full_solves(self):
+        session = self._session(self._edgeless_graph())
+        step = session.step(GraphDelta(add_edges=[(0, 1)]))
+        assert step.decision.mode == "full"
+        assert np.isfinite(step.result.beliefs).all()
+
+    def test_reveal_only_steps_on_edgeless_graph(self):
+        # n_edges stays 0 across the whole stream: no division crash, and
+        # an unchanged empty graph counts as a zero delta, not an infinite
+        # one.
+        session = self._session(self._edgeless_graph())
+        first = session.step(GraphDelta(reveal_nodes=[3], reveal_labels=[0]))
+        assert first.decision.reason == "first"
+        second = session.step(GraphDelta(reveal_nodes=[4], reveal_labels=[1]))
+        assert second.decision.delta_fraction == 0.0
+        assert np.isfinite(second.result.beliefs).all()
+
+    def test_delta_edge_fraction_conventions(self):
+        from repro.stream.incremental import delta_edge_fraction
+
+        assert delta_edge_fraction(0, 0) == 0.0
+        assert delta_edge_fraction(3, 0) == float("inf")
+        assert delta_edge_fraction(1, 4) == 0.25
+
+    def test_non_finite_delta_fraction_forces_full_solve(self):
+        incremental = IncrementalPropagator(get_propagator("linbp"))
+        sentinel = object()
+        for value in (float("inf"), float("nan")):
+            decision = incremental.decide(sentinel, delta_fraction=value)
+            assert decision.mode == "full"
+            assert decision.reason == "delta"
