@@ -65,15 +65,20 @@ from repro.runner import (
     RunSpec,
     execute_grid,
 )
+from repro.serve import (
+    InferenceService,
+    MicroBatcher,
+)
 from repro.stream import (
     GraphDelta,
     IncrementalPropagator,
     StreamingSession,
     read_delta_stream,
     replay_events,
+    synthesize_delta_stream,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DCE",
@@ -88,8 +93,10 @@ __all__ = [
     "HeuristicEstimator",
     "HoldoutEstimator",
     "IncrementalPropagator",
+    "InferenceService",
     "LCE",
     "MCE",
+    "MicroBatcher",
     "PROPAGATORS",
     "PropagationResult",
     "Propagator",
@@ -120,4 +127,5 @@ __all__ = [
     "skew_compatibility",
     "stratified_seed_indices",
     "stratified_seed_labels",
+    "synthesize_delta_stream",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface for the library.
 
-Eleven subcommands cover the end-to-end workflow without writing Python:
+Twelve subcommands cover the end-to-end workflow without writing Python:
 
 * ``repro generate``   — create a synthetic graph with planted compatibilities
 * ``repro dataset``    — build one of the real-world dataset stand-ins
@@ -12,6 +12,7 @@ Eleven subcommands cover the end-to-end workflow without writing Python:
 * ``repro merge``      — union result stores (content-addressed, latest-wins)
 * ``repro gc``         — compact a result store (drop superseded records)
 * ``repro stream``     — replay a JSONL delta stream with incremental propagation
+* ``repro serve``      — serve label-belief queries over HTTP (micro-batched)
 * ``repro list``       — print the registered propagators and estimators
 
 Graphs are exchanged as ``.npz`` bundles (see :mod:`repro.graph.io`).
@@ -30,6 +31,8 @@ Examples
     repro merge runs/merged runs/shard-a runs/shard-b.db
     repro gc runs/grid --drop-failed
     repro stream graph.npz events.jsonl --verify-every 5 --json replay.json
+    repro stream ab12ef --from-store runs/grid     # replay a stored run's graph
+    repro serve graph.npz --port 8151              # online query service
 
 ``--propagator`` and ``--method`` values are validated against the
 ``PROPAGATORS``/``ESTIMATORS`` registries of :mod:`repro.propagation.engine`
@@ -204,7 +207,22 @@ def build_parser() -> argparse.ArgumentParser:
         "stream", help="replay a JSONL delta stream with incremental propagation"
     )
     _add_estimation_arguments(stream)
-    stream.add_argument("events", help="JSONL event file (one GraphDelta per line)")
+    stream.add_argument("events", nargs="?", default=None,
+                        help="JSONL event file (one GraphDelta per line); "
+                             "omitted: synthesize a stream by replaying the "
+                             "graph's own edges as insertion deltas")
+    stream.add_argument("--from-store", dest="from_store", metavar="STORE",
+                        default=None,
+                        help="treat GRAPH as a record hash (prefixes ok) in "
+                             "this runner result store and rebuild that "
+                             "run's graph instead of reading an .npz file")
+    stream.add_argument("--synth-events", type=int, default=20, metavar="N",
+                        help="events to synthesize when no event file is "
+                             "given (default 20)")
+    stream.add_argument("--synth-initial", type=float, default=0.5,
+                        metavar="F",
+                        help="fraction of edges in the synthesized stream's "
+                             "starting graph (default 0.5)")
     stream.add_argument("--propagator", default="linbp",
                         help="propagation algorithm driving the session "
                              "(see `repro list`)")
@@ -227,6 +245,49 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--json", help="write the replay report to this JSON file")
     stream.add_argument("--quiet", action="store_true",
                         help="suppress per-step progress lines")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve label-belief queries over HTTP with micro-batching"
+    )
+    serve.add_argument("graph", nargs="?", default=None,
+                       help="graph to preload: an .npz path, or a record "
+                            "hash with --from-store (more graphs can be "
+                            "loaded later via POST /graphs)")
+    serve.add_argument("--name", default="default",
+                       help="name the preloaded graph is served under")
+    serve.add_argument("--from-store", dest="from_store", metavar="STORE",
+                       default=None,
+                       help="load the preloaded graph from this runner "
+                            "result store (GRAPH is then a record hash)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8151)
+    serve.add_argument("--propagator", default="linbp",
+                       help="propagation algorithm driving the session "
+                            "(see `repro list`)")
+    serve.add_argument("--method", default="GS",
+                       help="compatibility estimator for the preloaded graph")
+    serve.add_argument("--fraction", type=float, default=0.05,
+                       help="fraction of labels revealed as seeds")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--iterations", type=int, default=300,
+                       help="fixed-point sweep cap (serving needs converged "
+                            "solves)")
+    serve.add_argument("--tolerance", type=float, default=1e-8)
+    serve.add_argument("--max-batch", type=int, default=128, dest="max_batch",
+                       help="flush a micro-batch once this many requests wait")
+    serve.add_argument("--max-latency", type=float, default=0.002,
+                       dest="max_latency", metavar="SECONDS",
+                       help="flush a micro-batch at the latest this long "
+                            "after its oldest request arrived")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="answer every request individually (debugging / "
+                            "baseline measurements)")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       dest="cache_entries",
+                       help="per-graph query-result cache capacity")
+    serve.add_argument("--lenient", action="store_true",
+                       help="tolerate duplicate edge adds / absent removals "
+                            "in served deltas")
 
     subparsers.add_parser(
         "list", help="print the registered propagators and estimators"
@@ -481,19 +542,47 @@ def _command_gc(args: argparse.Namespace) -> int:
 
 def _command_stream(args: argparse.Namespace) -> int:
     from repro.eval.seeding import stratified_seed_indices
-    from repro.stream import read_delta_stream, replay_events
+    from repro.stream import read_delta_stream, replay_events, synthesize_delta_stream
 
     _check_propagator(args.propagator)
-    graph = _load_graph(args.graph)
-    events_path = Path(args.events)
-    if not events_path.exists():
-        raise CLIError(f"event file not found: {events_path}")
-    try:
-        deltas = read_delta_stream(events_path)
-    except ValueError as exc:
-        raise CLIError(str(exc)) from exc
-    if not deltas:
-        raise CLIError(f"event file {events_path} contains no deltas")
+    if args.from_store:
+        # GRAPH is a record hash: rebuild the graph that run executed on,
+        # through the same loader the serving layer uses.
+        from repro.serve.loader import GraphSourceError, graph_from_store
+
+        try:
+            graph, record = graph_from_store(args.from_store, args.graph)
+        except GraphSourceError as exc:
+            raise CLIError(str(exc)) from exc
+        print(f"rebuilt graph of record {record['hash'][:16]}… from "
+              f"{args.from_store} ({graph.n_nodes} nodes / {graph.n_edges} edges)")
+    else:
+        graph = _load_graph(args.graph)
+
+    if args.events is not None:
+        events_path = Path(args.events)
+        if not events_path.exists():
+            raise CLIError(f"event file not found: {events_path}")
+        try:
+            deltas = read_delta_stream(events_path)
+        except ValueError as exc:
+            raise CLIError(str(exc)) from exc
+        if not deltas:
+            raise CLIError(f"event file {events_path} contains no deltas")
+    else:
+        # No recorded events: replay the graph itself as a stream of edge
+        # insertions (the runner-store ingestion scenario).
+        try:
+            graph, deltas = synthesize_delta_stream(
+                graph,
+                n_events=args.synth_events,
+                initial_fraction=args.synth_initial,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from exc
+        print(f"synthesized {len(deltas)} insertion events from the graph "
+              f"(starting from {graph.n_edges} of its edges)")
 
     if graph.labels is None:
         raise CLIError(
@@ -562,6 +651,70 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import InferenceService, MicroBatcher, ServeError, make_server
+
+    service = InferenceService(
+        cache_entries=args.cache_entries, strict_deltas=not args.lenient
+    )
+    if args.graph is not None:
+        _check_propagator(args.propagator)
+        load_kwargs = dict(
+            propagator=args.propagator,
+            method=args.method,
+            fraction=args.fraction,
+            seed=args.seed,
+            iterations=args.iterations,
+            tolerance=args.tolerance,
+        )
+        try:
+            if args.from_store:
+                info = service.load_graph(
+                    args.name, store=args.from_store, run_hash=args.graph,
+                    **load_kwargs,
+                )
+            else:
+                if not Path(args.graph).exists():
+                    raise CLIError(f"graph file not found: {args.graph}")
+                info = service.load_graph(args.name, path=args.graph, **load_kwargs)
+        except ServeError as exc:
+            raise CLIError(str(exc)) from exc
+        print(f"loaded {args.name!r}: {info['n_nodes']} nodes / "
+              f"{info['n_edges']} edges, propagator {info['propagator']}, "
+              f"{info['n_seeds']} seeds")
+    elif args.from_store:
+        raise CLIError("--from-store needs a record hash as the GRAPH argument")
+
+    batcher = None
+    if not args.no_batching:
+        batcher = MicroBatcher(
+            service,
+            max_batch=args.max_batch,
+            max_latency_seconds=args.max_latency,
+        )
+    try:
+        server = make_server(
+            service, host=args.host, port=args.port, batcher=batcher
+        )
+    except OSError as exc:
+        if batcher is not None:
+            batcher.close()
+        raise CLIError(f"could not bind {args.host}:{args.port}: {exc}") from exc
+    mode = "unbatched" if batcher is None else (
+        f"micro-batched (<= {args.max_batch}/flush, "
+        f"{args.max_latency * 1e3:g} ms budget)"
+    )
+    print(f"serving on http://{args.host}:{server.server_address[1]} "
+          f"[{mode}] — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _first_docstring_line(obj) -> str:
     docstring = (obj.__doc__ or "").strip()
     return docstring.splitlines()[0] if docstring else "(no docstring)"
@@ -592,6 +745,7 @@ COMMANDS = {
     "merge": _command_merge,
     "gc": _command_gc,
     "stream": _command_stream,
+    "serve": _command_serve,
     "list": _command_list,
 }
 

@@ -143,6 +143,17 @@ class StoreBackend(abc.ABC):
         each other.
         """
 
+    def append_many(self, records: list[dict]) -> None:
+        """Durably persist a batch of records.
+
+        The default loops over :meth:`append`; backends override it when
+        one batched write is cheaper than N appends (JSONL: one lock + one
+        ``write(2)``; SQLite: one transaction).  Same concurrency contract
+        as :meth:`append`.
+        """
+        for record in records:
+            self.append(record)
+
     @abc.abstractmethod
     def iterate(self) -> Iterator[dict]:
         """Yield persisted records in physical order, superseded ones included."""

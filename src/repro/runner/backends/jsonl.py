@@ -163,10 +163,29 @@ class JSONLBackend(StoreBackend):
         finally:
             os.close(descriptor)
 
+    @staticmethod
+    def _encode(record: dict) -> bytes:
+        return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
     def append(self, record: dict) -> None:
+        self._append_payload(self._encode(record))
+
+    def append_many(self, records: list[dict]) -> None:
+        """Batched append: one lock, one ``write(2)`` for all N records.
+
+        The executor calls this when a worker batch finishes — N result
+        records become a single contiguous write instead of N lock/write
+        round-trips, and concurrent shard writers interleave at batch
+        granularity (still never within a line, it is still one
+        ``O_APPEND`` write).
+        """
+        if not records:
+            return
+        self._append_payload(b"".join(self._encode(record) for record in records))
+
+    def _append_payload(self, data: bytes) -> None:
         if self._truncated_tail is not None:
             self._repair_truncated_tail()
-        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
         # A single O_APPEND write is atomic with respect to other appenders
         # on local filesystems: concurrent shard processes interleave whole
         # records, never partial lines.

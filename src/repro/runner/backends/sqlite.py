@@ -105,6 +105,22 @@ class SQLiteBackend(StoreBackend):
             (record["hash"], json.dumps(record, sort_keys=True)),
         )
 
+    def append_many(self, records: list[dict]) -> None:
+        """Batched upsert: one transaction (and one fsync) for N records."""
+        if not records:
+            return
+        connection = self._connect()
+        with connection:
+            connection.execute("BEGIN IMMEDIATE")
+            connection.executemany(
+                "INSERT INTO results (hash, record) VALUES (?, ?) "
+                "ON CONFLICT(hash) DO UPDATE SET record = excluded.record",
+                [
+                    (record["hash"], json.dumps(record, sort_keys=True))
+                    for record in records
+                ],
+            )
+
     def iterate(self) -> Iterator[dict]:
         # Fetch eagerly: a lazy generator would defer the execute() past
         # this try/except and leak raw sqlite3 errors to load() callers.

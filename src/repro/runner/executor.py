@@ -387,10 +387,16 @@ def execute_grid(
 
     def _absorb(batch_result) -> None:
         _, indexed_outcomes = batch_result
+        if store is not None:
+            # One batched append per finished worker batch: a single locked
+            # write (JSONL) or transaction (SQLite) instead of one
+            # round-trip per run.  Persist before reporting progress so a
+            # crash mid-callback never claims more than the store holds.
+            store.append_many(
+                [outcome.to_record() for _, outcome in indexed_outcomes]
+            )
         for run_index, outcome in indexed_outcomes:
             outcomes[run_index] = outcome
-            if store is not None:
-                store.append(outcome.to_record())
             if progress is not None:
                 progress(outcome)
 

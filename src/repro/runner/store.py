@@ -130,6 +130,22 @@ class ResultStore:
         self.backend.append(record)
         self._index[key] = record
 
+    def append_many(self, records: list[dict]) -> None:
+        """Persist a batch of records through one backend write.
+
+        Validation happens before anything is persisted, so a bad record
+        (missing ``"hash"``) fails the whole batch instead of leaving it
+        half-written.  The JSONL backend turns this into a single locked
+        ``write(2)``, SQLite into one transaction; the executor uses it to
+        flush a finished worker batch without N append round-trips.
+        """
+        for record in records:
+            if not record.get("hash"):
+                raise ValueError("result record needs a 'hash' key")
+        self.backend.append_many(records)
+        for record in records:
+            self._index[record["hash"]] = record
+
     def status_counts(self) -> dict[str, int]:
         """Tally of record statuses (``ok`` / ``error`` / ``timeout``)."""
         counts: dict[str, int] = {}

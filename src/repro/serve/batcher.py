@@ -1,0 +1,296 @@
+"""Micro-batching front-end: coalesce concurrent queries and deltas.
+
+Serving traffic arrives one request at a time, but the service's cheapest
+unit of work is a *batch*: :meth:`InferenceService.query_many` answers N
+queries with one vectorized belief gather, and
+:meth:`InferenceService.apply_deltas` absorbs N deltas with a single
+incremental propagation.  :class:`MicroBatcher` bridges the two — callers
+submit individual requests and get futures; a single worker thread drains
+the queue and hands the service coalesced batches.
+
+Flush policy (the classic request-batching trade-off):
+
+* a flush happens at the latest ``max_latency_seconds`` after the oldest
+  pending item arrived — an isolated request is never delayed longer than
+  the latency budget;
+* a flush happens immediately once ``max_batch`` items are pending — heavy
+  load degrades into back-to-back full batches, never unbounded queues.
+
+Ordering/consistency: within one flush, **deltas are applied before any
+query is answered**.  A query therefore reflects every delta acknowledged
+before it was submitted (monotonic reads — it sat behind them in the queue
+or they were already flushed) and *may* additionally reflect deltas
+submitted concurrently with it (fresh reads).  What can never happen is a
+query being answered from beliefs older than its submission point.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.serve.service import InferenceService, QueryResult, ServeError
+
+__all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _Pending:
+    kind: str  # "query" | "delta"
+    graph: str
+    payload: tuple  # query: (nodes, top_k); delta: (delta,)
+    future: Future
+
+
+class MicroBatcher:
+    """Bounded-queue request coalescer in front of one :class:`InferenceService`.
+
+    Parameters
+    ----------
+    service:
+        The service every flushed batch is executed against.
+    max_batch:
+        Flush as soon as this many requests are pending.
+    max_latency_seconds:
+        Flush at the latest this long after the oldest pending request
+        arrived — the worst-case queueing delay added by batching.
+    max_queue:
+        Backpressure bound: ``submit_*`` raises once this many requests
+        are waiting (a stalled propagation must not buffer unbounded work).
+    start:
+        Start the worker thread immediately.  Tests pass ``False`` and
+        drive :meth:`flush_pending` by hand to make coalescing
+        deterministic.
+    """
+
+    def __init__(
+        self,
+        service: InferenceService,
+        max_batch: int = 128,
+        max_latency_seconds: float = 0.002,
+        max_queue: int = 65536,
+        start: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_latency_seconds < 0:
+            raise ValueError("max_latency_seconds must be >= 0")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_latency_seconds = float(max_latency_seconds)
+        self.max_queue = int(max_queue)
+        self._queue: deque[_Pending] = deque()
+        self._condition = threading.Condition()
+        self._stopped = False
+        self._worker: threading.Thread | None = None
+        # Tallies (updated only by the flushing thread).
+        self.n_flushes = 0
+        self.n_queries = 0
+        self.n_deltas = 0
+        self.n_query_batches = 0
+        self.n_delta_batches = 0
+        self.largest_batch = 0
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the background flushing thread (idempotent)."""
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._stopped = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker after it drains everything already queued."""
+        with self._condition:
+            self._stopped = True
+            self._condition.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=timeout)
+            self._worker = None
+        # Anything still queued (worker died, never started, or is stuck
+        # past the join timeout) must not leave callers blocked on their
+        # futures forever.  Drain under the lock: items taken here were
+        # never seen by a still-live worker (it pops under the same lock),
+        # so this thread is their sole owner.
+        with self._condition:
+            abandoned = list(self._queue)
+            self._queue.clear()
+        for pending in abandoned:
+            pending.future.set_exception(
+                ServeError("batcher closed before the request ran", status=503)
+            )
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ submission
+    def _submit(self, kind: str, graph: str, payload: tuple) -> Future:
+        future: Future = Future()
+        with self._condition:
+            if self._stopped:
+                raise ServeError("batcher is closed", status=503)
+            if len(self._queue) >= self.max_queue:
+                raise ServeError(
+                    f"batcher queue is full ({self.max_queue} pending)",
+                    status=503,
+                )
+            self._queue.append(_Pending(kind, graph, payload, future))
+            self._condition.notify()
+        return future
+
+    def submit_query(self, graph: str, nodes, top_k: int | None = None) -> Future:
+        """Enqueue a query; the future resolves to a :class:`QueryResult`."""
+        return self._submit("query", graph, (nodes, top_k))
+
+    def submit_delta(self, graph: str, delta) -> Future:
+        """Enqueue a delta; the future resolves once a flush propagated it.
+
+        The result is a :class:`~repro.serve.service.DeltaBatchResult`
+        scoped to this one delta (``n_deltas == 1``; ``n_coalesced`` tells
+        how many siblings shared the propagation), or the future carries a
+        ``ServeError`` when the delta was rejected.
+        """
+        return self._submit("delta", graph, (delta,))
+
+    def query(
+        self, graph: str, nodes, top_k: int | None = None,
+        timeout: float | None = 30.0,
+    ) -> QueryResult:
+        """Submit a query and wait for its micro-batched answer."""
+        return self.submit_query(graph, nodes, top_k).result(timeout=timeout)
+
+    def apply_delta(self, graph: str, delta, timeout: float | None = 30.0) -> dict:
+        """Submit a delta and wait until a flush has propagated it."""
+        return self.submit_delta(graph, delta).result(timeout=timeout)
+
+    # -------------------------------------------------------------- flushing
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._stopped:
+                    self._condition.wait()
+                if not self._queue and self._stopped:
+                    return
+                # Linger so concurrent callers can pile on, but only while
+                # the queue is actually growing: closed-loop clients all
+                # submit within microseconds of their previous answers, so
+                # once a settle slice passes with no new arrivals the batch
+                # is as big as it is going to get and waiting out the full
+                # latency budget would just cap throughput at
+                # clients/budget.  The budget stays the hard bound for
+                # staggered arrivals.
+                deadline = time.monotonic() + self.max_latency_seconds
+                # A settle slice only needs to cover the submit-after-wakeup
+                # gap of a closed-loop client (tens of microseconds), not a
+                # fraction of the latency budget.
+                settle = min(2.5e-4, self.max_latency_seconds / 4.0)
+                while (
+                    len(self._queue) < self.max_batch
+                    and not self._stopped
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    size_before = len(self._queue)
+                    self._condition.wait(timeout=min(settle, remaining))
+                    if len(self._queue) == size_before:
+                        break
+            self.flush_pending()
+
+    def flush_pending(self) -> int:
+        """Drain and execute everything currently queued; returns the count.
+
+        Public so tests (and the benchmark's calibration path) can drive
+        batching synchronously with ``start=False``.
+        """
+        with self._condition:
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self.max_batch))
+            ]
+        if not batch:
+            return 0
+        self.n_flushes += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+
+        # Per graph: all deltas first (one propagation), then all queries
+        # (one vectorized gather) — the freshness contract documented above.
+        deltas: dict[str, list[_Pending]] = {}
+        queries: dict[str, list[_Pending]] = {}
+        for pending in batch:
+            group = deltas if pending.kind == "delta" else queries
+            group.setdefault(pending.graph, []).append(pending)
+
+        for graph, pendings in deltas.items():
+            self.n_deltas += len(pendings)
+            self.n_delta_batches += 1
+            try:
+                outcome = self.service.apply_deltas(
+                    graph, [pending.payload[0] for pending in pendings]
+                )
+            except Exception as exc:
+                for pending in pendings:
+                    pending.future.set_exception(exc)
+                continue
+            for position, pending in enumerate(pendings):
+                error = outcome.errors[position]
+                if error is None:
+                    # Each caller submitted ONE delta and gets a result
+                    # scoped to it (n_deltas=1), so a single-delta POST
+                    # reports the same shape whether or not siblings were
+                    # coalesced into the flush; n_coalesced carries the
+                    # shared-propagation count.
+                    pending.future.set_result(outcome.scoped_to_one())
+                else:
+                    pending.future.set_exception(
+                        ServeError(f"delta rejected: {error}")
+                    )
+
+        for graph, pendings in queries.items():
+            self.n_queries += len(pendings)
+            self.n_query_batches += 1
+            try:
+                results = self.service.query_many(
+                    graph,
+                    [(pending.payload[0], pending.payload[1])
+                     for pending in pendings],
+                )
+            except Exception as exc:
+                for pending in pendings:
+                    pending.future.set_exception(exc)
+                continue
+            for pending, result in zip(pendings, results):
+                if isinstance(result, Exception):
+                    pending.future.set_exception(result)
+                else:
+                    pending.future.set_result(result)
+        return len(batch)
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Coalescing tallies for the ``/stats`` endpoint."""
+        flushes = max(1, self.n_flushes)
+        return {
+            "n_flushes": self.n_flushes,
+            "n_queries": self.n_queries,
+            "n_deltas": self.n_deltas,
+            "n_query_batches": self.n_query_batches,
+            "n_delta_batches": self.n_delta_batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": (self.n_queries + self.n_deltas) / flushes,
+            "propagations_saved": self.n_deltas - self.n_delta_batches,
+            "pending": len(self._queue),
+            "max_batch": self.max_batch,
+            "max_latency_seconds": self.max_latency_seconds,
+        }

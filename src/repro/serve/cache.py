@@ -1,0 +1,94 @@
+"""Per-session query-result cache, invalidated by delta application.
+
+Serving traffic is repetitive: dashboards poll the same node sets, hot
+entities are queried by many clients, and between two deltas the belief
+matrix does not move — so the answer to ``(nodes, top_k)`` is a pure
+function of the session's *belief version* (the count of completed
+propagations).  :class:`QueryCache` memoizes exactly that function:
+
+* entries are keyed by the caller's hashable query key and stamped with the
+  belief version they were computed at;
+* applying a delta bumps the version, which implicitly invalidates the whole
+  cache — the first access at a newer version clears it in O(1) bookkeeping
+  (the dict is dropped wholesale, no per-entry scan);
+* an LRU bound (``max_entries``) keeps one-off node sets from growing the
+  cache without limit.
+
+The cache itself is not locked: callers access it while already holding the
+session lock (the serving layer's invariant), so no extra synchronization
+is layered on top.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """Version-stamped LRU cache of query results for one served session."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._version: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _sync_version(self, version: int) -> None:
+        if version != self._version:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self._version = version
+
+    def get(self, key: Hashable, version: int):
+        """Return the cached value for ``key`` at ``version`` (None on miss).
+
+        A version different from the one the cache holds entries for drops
+        everything first — results computed against older beliefs must
+        never be served after a delta.
+        """
+        self._sync_version(version)
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, version: int, value) -> None:
+        """Store ``value`` for ``key`` as computed at belief ``version``."""
+        self._sync_version(version)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (explicit invalidation; version stamp survives)."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters for the service's ``/stats`` endpoint."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,248 @@
+"""Stdlib-only JSON HTTP front-end for the inference service.
+
+A :class:`ThreadingHTTPServer` (one thread per connection, no third-party
+dependencies) exposing:
+
+* ``POST /graphs`` — load a graph: ``{"name": ..., "path": "g.npz"}`` or
+  ``{"name": ..., "store": "runs/grid", "hash": "ab12…"}`` plus optional
+  ``propagator`` / ``method`` / ``fraction`` / ``seed`` / ``iterations`` /
+  ``tolerance`` / ``replace``;
+* ``DELETE /graphs/<name>`` — unload it;
+* ``GET /graphs/<name>`` — its info/staleness snapshot;
+* ``POST /graphs/<name>/delta`` — apply a delta (the JSONL event-record
+  format of :meth:`repro.stream.delta.GraphDelta.from_dict`);
+* ``POST /graphs/<name>/query`` — ``{"nodes": [...], "top_k": 2}`` →
+  beliefs/labels/top-k plus staleness metadata;
+* ``GET /stats`` — service- and batcher-wide counters;
+* ``GET /healthz`` — liveness probe.
+
+Queries and deltas are routed through the :class:`MicroBatcher` (when one
+is attached), so concurrent HTTP clients are coalesced exactly like
+in-process callers.  Every response is a JSON object; failures carry
+``{"error": ...}`` with the mapped status code, never a traceback page.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.service import InferenceService, ServeError
+
+__all__ = ["InferenceHTTPServer", "ServeHandler", "make_server"]
+
+MAX_BODY_BYTES = 64 * 1024 * 1024  # a delta with millions of edges is a bug
+
+
+class InferenceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service + batcher for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: InferenceService,
+        batcher: MicroBatcher | None = None,
+    ) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+        self.batcher = batcher
+
+    def close(self) -> None:
+        """Shut down the listener and the batcher (drains pending work)."""
+        self.shutdown()
+        self.server_close()
+        if self.batcher is not None:
+            self.batcher.close()
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes the five endpoints; all payloads are JSON."""
+
+    server: InferenceHTTPServer
+    protocol_version = "HTTP/1.1"
+    # Quiet by default: one line per request at 10k qps would *be* the load.
+    verbose = False
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ I/O
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        # Error paths may not have consumed the request body (unmatched
+        # route, too-large guard); leftover bytes would desynchronize a
+        # kept-alive HTTP/1.1 connection — the next "request" would be
+        # parsed out of the old body.  Dropping the connection after an
+        # error keeps the stream unambiguous.
+        self.close_connection = True
+        self._send_json({"error": message}, status=status)
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            raise ServeError(f"invalid Content-Length header: {exc}") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ServeError(f"request body too large ({length} bytes)", status=413)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    # -------------------------------------------------------------- routing
+    def _route(self, method: str) -> None:
+        try:
+            handled = self._dispatch(method)
+        except ServeError as exc:
+            self._send_error_json(str(exc), exc.status)
+            return
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            return
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            self._send_error_json(f"internal error: {exc}", 500)
+            return
+        if not handled:
+            self._send_error_json(
+                f"no route for {method} {self.path}", 404
+            )
+
+    def _dispatch(self, method: str) -> bool:
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        service = self.server.service
+        if method == "GET":
+            if parts == ["healthz"]:
+                self._send_json({"ok": True, "graphs": service.graph_names()})
+                return True
+            if parts == ["stats"]:
+                stats = service.stats()
+                if self.server.batcher is not None:
+                    stats["batcher"] = self.server.batcher.stats()
+                self._send_json(stats)
+                return True
+            if len(parts) == 2 and parts[0] == "graphs":
+                self._send_json(service.info(parts[1]))
+                return True
+            return False
+        if method == "DELETE":
+            if len(parts) == 2 and parts[0] == "graphs":
+                self._send_json({"unloaded": service.unload(parts[1])})
+                return True
+            return False
+        if method != "POST":
+            return False
+        if parts == ["graphs"]:
+            self._handle_load(self._read_json())
+            return True
+        if len(parts) == 3 and parts[0] == "graphs":
+            name, verb = parts[1], parts[2]
+            if verb == "delta":
+                self._handle_delta(name, self._read_json())
+                return True
+            if verb == "query":
+                self._handle_query(name, self._read_json())
+                return True
+        return False
+
+    # ------------------------------------------------------------- handlers
+    def _handle_load(self, payload: dict) -> None:
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServeError("load needs a non-empty 'name'")
+        allowed = {
+            "name", "path", "store", "hash", "propagator", "propagator_kwargs",
+            "method", "method_kwargs", "fraction", "seed", "iterations",
+            "tolerance", "replace",
+        }
+        unknown = set(payload) - allowed
+        if unknown:
+            raise ServeError(f"unknown load fields: {sorted(unknown)}")
+        try:
+            fraction = float(payload.get("fraction", 0.05))
+            seed = int(payload.get("seed", 0))
+            iterations = int(payload.get("iterations", 300))
+            tolerance = float(payload.get("tolerance", 1e-8))
+        except (TypeError, ValueError) as exc:
+            raise ServeError(f"invalid load parameter: {exc}") from exc
+        info = self.server.service.load_graph(
+            name,
+            path=payload.get("path"),
+            store=payload.get("store"),
+            run_hash=payload.get("hash"),
+            propagator=payload.get("propagator", "linbp"),
+            propagator_kwargs=payload.get("propagator_kwargs"),
+            method=payload.get("method", "GS"),
+            method_kwargs=payload.get("method_kwargs"),
+            fraction=fraction,
+            seed=seed,
+            iterations=iterations,
+            tolerance=tolerance,
+            replace=bool(payload.get("replace", False)),
+        )
+        self._send_json({"loaded": info}, status=201)
+
+    def _handle_delta(self, name: str, payload: dict) -> None:
+        batcher = self.server.batcher
+        if batcher is not None:
+            outcome = batcher.apply_delta(name, payload)
+        else:
+            from repro.stream.delta import GraphDelta
+
+            try:
+                delta = GraphDelta.from_dict(payload)
+            except (TypeError, ValueError) as exc:
+                raise ServeError(f"invalid delta: {exc}") from exc
+            outcome = self.server.service.apply_delta(name, delta)
+        self._send_json(outcome.to_dict())
+
+    def _handle_query(self, name: str, payload: dict) -> None:
+        unknown = set(payload) - {"nodes", "top_k"}
+        if unknown:
+            raise ServeError(f"unknown query fields: {sorted(unknown)}")
+        nodes = payload.get("nodes")
+        top_k = payload.get("top_k")
+        batcher = self.server.batcher
+        if batcher is not None:
+            result = batcher.query(name, nodes, top_k)
+        else:
+            result = self.server.service.query(name, nodes, top_k)
+        self._send_json(result.to_dict())
+
+    # ----------------------------------------------------------- verb hooks
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+
+def make_server(
+    service: InferenceService,
+    host: str = "127.0.0.1",
+    port: int = 8151,
+    batcher: MicroBatcher | None = None,
+) -> InferenceHTTPServer:
+    """Bind the serving endpoint (``port=0`` picks a free port for tests)."""
+    return InferenceHTTPServer((host, port), service, batcher)

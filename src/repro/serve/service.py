@@ -1,0 +1,598 @@
+"""The inference service: named warm sessions answering belief queries.
+
+:class:`InferenceService` owns a registry of named
+:class:`~repro.stream.session.StreamingSession` objects — one per loaded
+graph — and exposes the three serving verbs:
+
+* **load/unload** — materialize a graph (``.npz`` bundle, a runner-store
+  record, or a ready :class:`~repro.graph.graph.Graph`), seed it, estimate
+  the compatibility matrix if the propagator needs one, run the anchoring
+  full solve, and keep the warm session around;
+* **delta** — push one or more :class:`~repro.stream.delta.GraphDelta`
+  through the session (one incremental propagation per *batch* of deltas,
+  not per delta — the coalescing the micro-batcher exploits);
+* **query** — read belief rows for arbitrary node sets straight off the
+  session's current :class:`~repro.propagation.engine.PropagationResult`,
+  with staleness metadata and an optional per-node top-k ranking, memoized
+  in a :class:`~repro.serve.cache.QueryCache` until the next delta.
+
+Consistency model: every operation on one served graph runs under that
+session's reentrant lock, so queries see either the belief matrix from
+before a concurrent delta or after it — never a half-applied state.  Reads
+are *fresh, monotonic* reads: a query submitted after a delta's
+acknowledgement always reflects that delta.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.seeding import stratified_seed_labels
+from repro.graph.graph import Graph
+from repro.propagation.engine import ESTIMATORS, PROPAGATORS, propagator_names
+from repro.serve.cache import QueryCache
+from repro.serve.loader import GraphSourceError, load_serving_graph
+from repro.stream.delta import GraphDelta
+from repro.stream.session import StreamingSession
+
+__all__ = [
+    "DeltaBatchResult",
+    "InferenceService",
+    "QueryResult",
+    "ServeError",
+    "UnknownGraphError",
+]
+
+
+class ServeError(Exception):
+    """A user-facing serving failure; carries the HTTP status to map to."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+class UnknownGraphError(ServeError):
+    """The named graph is not loaded."""
+
+    def __init__(self, name: str, loaded: list[str]) -> None:
+        listing = ", ".join(sorted(loaded)) if loaded else "none"
+        super().__init__(
+            f"no graph named {name!r} is loaded (loaded: {listing})", status=404
+        )
+
+
+# ------------------------------------------------------------------- results
+@dataclass
+class QueryResult:
+    """Belief slice for one query, plus the staleness metadata.
+
+    ``staleness`` describes how old the belief snapshot is:
+    ``queries_since_refresh`` counts queries answered from it before this
+    one (reset to zero by every delta-triggered propagation — the counter
+    the benchmark watches), ``snapshot_age_seconds`` its wall-clock age,
+    and ``pending_deltas`` deltas applied to the graph but not yet
+    propagated (always 0 on the public paths, which propagate eagerly).
+    """
+
+    name: str
+    nodes: np.ndarray
+    beliefs: np.ndarray
+    labels: np.ndarray
+    top: list | None
+    graph_version: int
+    belief_version: int
+    staleness: dict
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.name,
+            "nodes": np.asarray(self.nodes).tolist(),
+            "beliefs": np.asarray(self.beliefs).tolist(),
+            "labels": np.asarray(self.labels).tolist(),
+            "top": self.top,
+            "graph_version": self.graph_version,
+            "belief_version": self.belief_version,
+            "staleness": self.staleness,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class DeltaBatchResult:
+    """Outcome of one coalesced delta application + single propagation.
+
+    ``n_coalesced`` counts the deltas whose propagation this result's
+    belief refresh covers: for a direct ``apply_deltas`` call it equals
+    ``n_deltas``; for a per-caller view handed out by the micro-batcher it
+    reports how many sibling deltas shared the single propagation while
+    ``n_deltas``/``errors`` describe only the caller's own submission.
+    """
+
+    name: str
+    n_deltas: int
+    n_applied: int
+    errors: list  # one entry per submitted delta: None or the error message
+    mode: str | None  # "incremental" / "full" / None when nothing applied
+    reason: str | None
+    propagate_seconds: float
+    graph_version: int
+    belief_version: int
+    n_coalesced: int = 0
+
+    def scoped_to_one(self) -> "DeltaBatchResult":
+        """A per-caller view of one applied delta from a coalesced batch."""
+        return DeltaBatchResult(
+            name=self.name,
+            n_deltas=1,
+            n_applied=1,
+            errors=[None],
+            mode=self.mode,
+            reason=self.reason,
+            propagate_seconds=self.propagate_seconds,
+            graph_version=self.graph_version,
+            belief_version=self.belief_version,
+            n_coalesced=self.n_coalesced,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.name,
+            "n_deltas": self.n_deltas,
+            "n_applied": self.n_applied,
+            "errors": self.errors,
+            "mode": self.mode,
+            "reason": self.reason,
+            "propagate_seconds": self.propagate_seconds,
+            "graph_version": self.graph_version,
+            "belief_version": self.belief_version,
+            "n_coalesced": self.n_coalesced,
+        }
+
+
+# -------------------------------------------------------------- served graph
+class _ServedGraph:
+    """One named session plus its cache, version counters and tallies."""
+
+    def __init__(self, name: str, session: StreamingSession, source: dict,
+                 cache_entries: int) -> None:
+        self.name = name
+        self.session = session
+        self.source = source
+        self.cache = QueryCache(cache_entries) if cache_entries > 0 else None
+        self.created_at = time.time()
+        self.graph_version = 0  # deltas applied since load
+        self.belief_version = 0  # completed propagations (anchor included)
+        self._pending_deltas = 0  # applied but not yet propagated
+        self.last_solve_monotonic = time.monotonic()
+        self.queries_since_refresh = 0
+        self.n_queries = 0
+        self.n_deltas = 0
+        self.n_solves = 0
+        self.n_incremental = 0
+        self.n_full = 0
+
+    # Callers hold session.lock for everything below.
+    def record_solve(self, mode: str) -> None:
+        self.belief_version += 1
+        self.n_solves += 1
+        if mode == "incremental":
+            self.n_incremental += 1
+        else:
+            self.n_full += 1
+        self.last_solve_monotonic = time.monotonic()
+        self.queries_since_refresh = 0
+
+    def staleness(self) -> dict:
+        return {
+            "queries_since_refresh": self.queries_since_refresh,
+            "snapshot_age_seconds": time.monotonic() - self.last_solve_monotonic,
+            "pending_deltas": self._pending_deltas,
+        }
+
+    def info(self) -> dict:
+        graph = self.session.graph
+        return {
+            "name": self.name,
+            "source": self.source,
+            "n_nodes": graph.n_nodes,
+            "n_edges": graph.n_edges,
+            "n_classes": graph.n_classes,
+            "propagator": self.session.propagator.name,
+            "n_seeds": int(np.sum(self.session.seed_labels >= 0)),
+            "graph_version": self.graph_version,
+            "belief_version": self.belief_version,
+            "n_queries": self.n_queries,
+            "n_deltas": self.n_deltas,
+            "n_solves": self.n_solves,
+            "n_incremental": self.n_incremental,
+            "n_full": self.n_full,
+            "cache": (
+                {"disabled": True} if self.cache is None else self.cache.stats()
+            ),
+            "staleness": self.staleness(),
+        }
+
+
+# ------------------------------------------------------------------- service
+class InferenceService:
+    """Registry of served graphs behind the query/delta/load verbs.
+
+    Parameters
+    ----------
+    cache_entries:
+        Per-graph :class:`QueryCache` capacity (``0`` disables caching).
+    strict_deltas:
+        Delta application strictness forwarded to every session (lenient
+        mode tolerates duplicate adds / absent removals in noisy feeds).
+    """
+
+    def __init__(self, cache_entries: int = 1024, strict_deltas: bool = True) -> None:
+        self.cache_entries = int(cache_entries)
+        self.strict_deltas = bool(strict_deltas)
+        self.started_at = time.time()
+        self._graphs: dict[str, _ServedGraph] = {}
+        self._registry_lock = threading.RLock()
+
+    # ------------------------------------------------------------- registry
+    def graph_names(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(self._graphs)
+
+    def _served(self, name: str) -> _ServedGraph:
+        with self._registry_lock:
+            try:
+                return self._graphs[name]
+            except KeyError:
+                raise UnknownGraphError(name, list(self._graphs)) from None
+
+    def load_graph(
+        self,
+        name: str,
+        *,
+        path=None,
+        store=None,
+        run_hash: str | None = None,
+        graph: Graph | None = None,
+        propagator: str = "linbp",
+        propagator_kwargs: dict | None = None,
+        method: str = "GS",
+        method_kwargs: dict | None = None,
+        compatibility=None,
+        seed_labels=None,
+        fraction: float = 0.05,
+        seed: int = 0,
+        iterations: int = 300,
+        tolerance: float = 1e-8,
+        replace: bool = False,
+    ) -> dict:
+        """Load a graph under ``name`` and run its anchoring full solve.
+
+        The graph comes from exactly one of ``path`` (``.npz`` bundle),
+        ``store`` + ``run_hash`` (runner-store record), or ``graph`` (a
+        ready instance, which the session takes ownership of).  Unless
+        ``seed_labels`` is given, seeds are drawn stratified from the
+        graph's ground-truth labels at ``fraction``; unless
+        ``compatibility`` is given, the matrix is estimated with the
+        registered ``method`` (only when the propagator needs one).
+        Returns the loaded graph's info dict.
+        """
+        if not name or "/" in name:
+            raise ServeError(f"invalid graph name {name!r} (non-empty, no '/')")
+        with self._registry_lock:
+            # Fail the common operator error before the expensive part
+            # (graph build + estimation + anchoring solve); the
+            # registration below re-checks under the lock for the race
+            # where two loads of the same name overlap.
+            if name in self._graphs and not replace:
+                raise ServeError(
+                    f"a graph named {name!r} is already loaded "
+                    "(pass replace=true to swap it)", status=409,
+                )
+        if propagator not in PROPAGATORS:
+            raise ServeError(
+                f"unknown propagator {propagator!r}; valid: "
+                f"{', '.join(propagator_names())}"
+            )
+        if graph is None:
+            try:
+                graph = load_serving_graph(path=path, store=store, run_hash=run_hash)
+            except GraphSourceError as exc:
+                raise ServeError(str(exc)) from exc
+        elif path is not None or store is not None:
+            raise ServeError("pass either a ready graph or a source, not both")
+        source = {
+            "path": None if path is None else str(path),
+            "store": None if store is None else str(store),
+            "hash": run_hash,
+        }
+
+        if graph.n_classes is None:
+            raise ServeError(f"graph for {name!r} does not know its class count")
+        if seed_labels is None:
+            if graph.labels is None:
+                raise ServeError(
+                    f"graph for {name!r} carries no ground-truth labels; "
+                    "pass explicit seed_labels"
+                )
+            seed_labels = stratified_seed_labels(
+                graph.require_labels(), fraction=float(fraction), rng=int(seed)
+            )
+        else:
+            seed_labels = np.asarray(seed_labels, dtype=np.int64)
+
+        propagator_instance = PROPAGATORS[propagator](
+            max_iterations=int(iterations),
+            tolerance=float(tolerance),
+            **(propagator_kwargs or {}),
+        )
+        if propagator_instance.needs_compatibility and compatibility is None:
+            compatibility = self._estimate_compatibility(
+                graph, seed_labels, method, method_kwargs, int(seed)
+            )
+
+        session = StreamingSession(
+            graph,
+            propagator_instance,
+            compatibility=compatibility,
+            seed_labels=seed_labels,
+            strict=self.strict_deltas,
+        )
+        served = _ServedGraph(name, session, source, self.cache_entries)
+        with session.lock:
+            step = session.propagate()
+            served.record_solve(step.mode)
+
+        with self._registry_lock:
+            if name in self._graphs and not replace:
+                raise ServeError(
+                    f"a graph named {name!r} is already loaded "
+                    "(pass replace=true to swap it)", status=409,
+                )
+            self._graphs[name] = served
+        return served.info()
+
+    @staticmethod
+    def _estimate_compatibility(
+        graph: Graph, seed_labels, method: str, method_kwargs, seed: int
+    ):
+        if method not in ESTIMATORS:
+            raise ServeError(
+                f"unknown estimator {method!r}; valid: "
+                f"{', '.join(sorted(ESTIMATORS))}"
+            )
+        cls = ESTIMATORS[method]
+        kwargs = dict(method_kwargs or {})
+        accepted = inspect.signature(cls.__init__).parameters
+        if "seed" in accepted and "seed" not in kwargs:
+            kwargs["seed"] = seed
+        try:
+            estimation = cls(**kwargs).fit(graph, seed_labels)
+        except Exception as exc:
+            raise ServeError(
+                f"compatibility estimation with {method} failed: {exc}"
+            ) from exc
+        return estimation.compatibility
+
+    def unload(self, name: str) -> dict:
+        """Drop a served graph; returns its final info dict."""
+        with self._registry_lock:
+            served = self._served(name)
+            with served.session.lock:  # a consistent final snapshot
+                info = served.info()
+            del self._graphs[name]
+        return info
+
+    def info(self, name: str) -> dict:
+        served = self._served(name)
+        with served.session.lock:
+            return served.info()
+
+    # -------------------------------------------------------------- queries
+    @staticmethod
+    def _check_nodes(nodes, n_nodes: int) -> np.ndarray:
+        try:
+            nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        except (TypeError, ValueError, OverflowError) as exc:
+            # OverflowError: a node id too large for int64.
+            raise ServeError(f"query nodes must be integers: {exc}") from exc
+        if nodes.size == 0:
+            raise ServeError("query needs at least one node")
+        if nodes.min() < 0 or nodes.max() >= n_nodes:
+            raise ServeError(
+                f"query nodes must be in 0..{n_nodes - 1} "
+                f"(got min {nodes.min()}, max {nodes.max()})"
+            )
+        return nodes
+
+    def query(self, name: str, nodes, top_k: int | None = None) -> QueryResult:
+        """Answer one query; equivalent to ``query_many`` with one request."""
+        result = self.query_many(name, [(nodes, top_k)])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def query_many(
+        self, name: str, requests: list
+    ) -> list[QueryResult | Exception]:
+        """Answer many queries under one lock with one vectorized lookup.
+
+        ``requests`` is a list of ``(nodes, top_k)`` pairs.  All cache
+        misses are gathered from the belief matrix in a single fancy-index
+        and (when any request wants a ranking) a single arg-sort — the
+        vectorization the micro-batcher banks on.  Returns one
+        :class:`QueryResult` **or** :class:`ServeError` per request, in
+        order; per-request failures never poison their batch siblings.
+        """
+        served = self._served(name)
+        with served.session.lock:
+            result = served.session.last_result
+            if result is None:  # pragma: no cover - load always anchors
+                raise ServeError(f"graph {name!r} has no beliefs yet", status=503)
+            beliefs = result.beliefs
+            labels = result.labels
+            n_nodes = served.session.graph.n_nodes
+            n_classes = beliefs.shape[1]
+            version = served.belief_version
+
+            outputs: list[QueryResult | Exception | None] = [None] * len(requests)
+            misses: list[tuple[int, np.ndarray, int | None]] = []
+            for position, (nodes, top_k) in enumerate(requests):
+                try:
+                    node_array = self._check_nodes(nodes, n_nodes)
+                    if top_k is not None:
+                        try:
+                            top_k = int(top_k)
+                        except (TypeError, ValueError) as exc:
+                            raise ServeError(
+                                f"top_k must be an integer: {exc}"
+                            ) from exc
+                        if not 1 <= top_k <= n_classes:
+                            raise ServeError(
+                                f"top_k must be in 1..{n_classes}, got {top_k}"
+                            )
+                except ServeError as exc:
+                    outputs[position] = exc
+                    continue
+                key = (node_array.tobytes(), top_k)
+                cached = (
+                    None if served.cache is None
+                    else served.cache.get(key, version)
+                )
+                if cached is not None:
+                    hit = QueryResult(**cached, cached=True)
+                    hit.staleness = served.staleness()
+                    outputs[position] = hit
+                else:
+                    misses.append((position, node_array, top_k))
+
+            if misses:
+                gathered_nodes = np.concatenate([nodes for _, nodes, _ in misses])
+                gathered_beliefs = beliefs[gathered_nodes]
+                gathered_labels = labels[gathered_nodes]
+                wants_ranking = any(top_k is not None for _, _, top_k in misses)
+                order = (
+                    np.argsort(-gathered_beliefs, axis=1, kind="stable")
+                    if wants_ranking
+                    else None
+                )
+                offset = 0
+                for position, node_array, top_k in misses:
+                    span = slice(offset, offset + node_array.shape[0])
+                    offset += node_array.shape[0]
+                    top = None
+                    if top_k is not None:
+                        ranks = order[span, :top_k]
+                        scores = np.take_along_axis(
+                            gathered_beliefs[span], ranks, axis=1
+                        )
+                        top = [
+                            [[int(cls), float(score)]
+                             for cls, score in zip(row_ranks, row_scores)]
+                            for row_ranks, row_scores in zip(ranks, scores)
+                        ]
+                    payload = {
+                        "name": name,
+                        "nodes": node_array,
+                        "beliefs": gathered_beliefs[span].copy(),
+                        "labels": gathered_labels[span].copy(),
+                        "top": top,
+                        "graph_version": served.graph_version,
+                        "belief_version": version,
+                        "staleness": served.staleness(),
+                    }
+                    if served.cache is not None:
+                        served.cache.put(
+                            (node_array.tobytes(), top_k), version, dict(payload)
+                        )
+                    outputs[position] = QueryResult(**payload)
+
+            n_answered = sum(
+                1 for out in outputs if isinstance(out, QueryResult)
+            )
+            served.n_queries += n_answered
+            served.queries_since_refresh += n_answered
+            return outputs
+
+    # --------------------------------------------------------------- deltas
+    def apply_delta(self, name: str, delta: GraphDelta) -> DeltaBatchResult:
+        """Apply one delta (raising on rejection); one propagation follows."""
+        outcome = self.apply_deltas(name, [delta])
+        if outcome.errors[0] is not None:
+            raise ServeError(f"delta rejected: {outcome.errors[0]}")
+        return outcome
+
+    def apply_deltas(self, name: str, deltas: list) -> DeltaBatchResult:
+        """Apply a batch of deltas with a *single* incremental propagation.
+
+        Each delta is validated and applied individually — a rejected one
+        (strict-mode duplicate edge, out-of-range node ...) is reported in
+        ``errors`` without blocking the rest.  The belief refresh happens
+        once at the end, which is exactly the coalescing win: N concurrent
+        deltas cost one propagation instead of N.
+        """
+        served = self._served(name)
+        with served.session.lock:
+            errors: list[str | None] = []
+            n_applied = 0
+            for delta in deltas:
+                if not isinstance(delta, GraphDelta):
+                    try:
+                        delta = GraphDelta.from_dict(delta)
+                    except (TypeError, ValueError) as exc:
+                        errors.append(str(exc))
+                        continue
+                try:
+                    served.session.apply(delta)
+                except (TypeError, ValueError) as exc:
+                    errors.append(str(exc))
+                    continue
+                errors.append(None)
+                n_applied += 1
+                served.graph_version += 1
+                served.n_deltas += 1
+                served._pending_deltas += 1
+            mode = reason = None
+            propagate_seconds = 0.0
+            if n_applied:
+                step = served.session.propagate()
+                mode, reason = step.mode, step.decision.reason
+                propagate_seconds = step.propagate_seconds
+                served.record_solve(step.mode)
+                served._pending_deltas = 0
+            return DeltaBatchResult(
+                name=name,
+                n_deltas=len(deltas),
+                n_applied=n_applied,
+                errors=errors,
+                mode=mode,
+                reason=reason,
+                propagate_seconds=propagate_seconds,
+                graph_version=served.graph_version,
+                belief_version=served.belief_version,
+                n_coalesced=len(deltas),
+            )
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Service-wide stats: per-graph info plus global tallies."""
+        with self._registry_lock:
+            served_list = list(self._graphs.values())
+        graphs = {}
+        for served in served_list:
+            with served.session.lock:
+                graphs[served.name] = served.info()
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "n_graphs": len(graphs),
+            "n_queries": sum(info["n_queries"] for info in graphs.values()),
+            "n_deltas": sum(info["n_deltas"] for info in graphs.values()),
+            "n_solves": sum(info["n_solves"] for info in graphs.values()),
+            "graphs": graphs,
+        }

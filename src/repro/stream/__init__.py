@@ -42,7 +42,12 @@ from repro.stream.delta import (
     write_delta_stream,
 )
 from repro.stream.incremental import IncrementalDecision, IncrementalPropagator
-from repro.stream.replay import ReplayReport, ReplayStepRecord, replay_events
+from repro.stream.replay import (
+    ReplayReport,
+    ReplayStepRecord,
+    replay_events,
+    synthesize_delta_stream,
+)
 from repro.stream.session import StreamingSession, StreamStep
 
 __all__ = [
@@ -57,5 +62,6 @@ __all__ = [
     "apply_delta",
     "read_delta_stream",
     "replay_events",
+    "synthesize_delta_stream",
     "write_delta_stream",
 ]

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.eval.metrics import macro_accuracy
 from repro.graph.graph import Graph
@@ -26,7 +27,65 @@ from repro.propagation.engine import Propagator
 from repro.stream.delta import GraphDelta
 from repro.stream.session import StreamingSession
 
-__all__ = ["ReplayStepRecord", "ReplayReport", "replay_events"]
+__all__ = [
+    "ReplayStepRecord",
+    "ReplayReport",
+    "replay_events",
+    "synthesize_delta_stream",
+]
+
+
+def synthesize_delta_stream(
+    graph: Graph,
+    n_events: int = 20,
+    initial_fraction: float = 0.5,
+    seed: int = 0,
+) -> tuple[Graph, list[GraphDelta]]:
+    """Decompose a static graph into ``(initial_graph, deltas)`` for replay.
+
+    This is how a *batch* graph (a stored ``.npz`` bundle, or a grid point
+    rebuilt from a runner-store record) becomes a stream without a recorded
+    event file: a random ``initial_fraction`` of its edges forms the
+    starting graph and the remainder arrives as ``n_events`` edge-insertion
+    deltas in shuffled order.  Replaying the result ends at exactly the
+    original graph (weights included), so accuracy at the final event is
+    comparable to the batch experiment on the full graph.
+
+    The split is deterministic in ``seed``.  Node count, labels and class
+    count are shared with the input, so nodes untouched by early events are
+    simply isolated until their edges arrive.
+    """
+    if not 0.0 < initial_fraction < 1.0:
+        raise ValueError(
+            f"initial_fraction must be in (0, 1), got {initial_fraction}"
+        )
+    if n_events < 1:
+        raise ValueError(f"n_events must be >= 1, got {n_events}")
+    coo = sp.triu(graph.adjacency, k=1).tocoo()
+    edges = np.column_stack([coo.row, coo.col]).astype(np.int64)
+    weights = np.asarray(coo.data, dtype=np.float64)
+    n_edges = edges.shape[0]
+    if n_edges < 2:
+        raise ValueError("graph needs at least 2 edges to stream")
+    order = np.random.default_rng(seed).permutation(n_edges)
+    n_initial = min(n_edges - 1, max(1, int(round(initial_fraction * n_edges))))
+    initial_index = order[:n_initial]
+    initial = Graph.from_edges(
+        edges[initial_index],
+        n_nodes=graph.n_nodes,
+        labels=None if graph.labels is None else graph.labels.copy(),
+        n_classes=graph.n_classes,
+        weights=weights[initial_index],
+        name=f"{graph.name}/stream",
+    )
+    remaining = order[n_initial:]
+    n_events = min(n_events, remaining.shape[0])
+    deltas = [
+        GraphDelta(add_edges=edges[chunk], add_weights=weights[chunk])
+        for chunk in np.array_split(remaining, n_events)
+        if chunk.size
+    ]
+    return initial, deltas
 
 
 @dataclass

@@ -24,6 +24,7 @@ timed :class:`StreamStep`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -173,6 +174,13 @@ class StreamingSession:
                 )
         self.strict = bool(strict)
         self.spectral_seed = spectral_seed
+        # Sessions are written by one mutator at a time but may be *read*
+        # (beliefs/labels) from other threads — the serving layer answers
+        # queries while deltas stream in.  Every public entry point takes
+        # this reentrant lock, so a reader can never observe the graph
+        # mid-mutation or a belief matrix mid-swap; step() re-enters it
+        # through apply() + propagate() without deadlocking.
+        self.lock = threading.RLock()
         self.last_result: PropagationResult | None = None
         self.n_steps = 0
         self._pending = _PendingDelta()
@@ -197,7 +205,16 @@ class StreamingSession:
         The propagation state is *not* advanced — call :meth:`propagate`
         (or use :meth:`step`, which does both).  Multiple applied deltas
         accumulate into one pending change.
+
+        Thread-safe: the whole mutation runs under the session
+        :attr:`lock`, so a concurrent :meth:`beliefs` reader can never
+        observe the graph with the adjacency swapped but the labels not yet
+        grown (or vice versa).
         """
+        with self.lock:
+            return self._apply(delta)
+
+    def _apply(self, delta: GraphDelta) -> float:
         start = time.perf_counter()
         # Validate everything before mutating anything: a caller that
         # catches a bad event (e.g. to skip it in a live stream) must find
@@ -293,7 +310,15 @@ class StreamingSession:
         return time.perf_counter() - start, drift
 
     def propagate(self, force_full: bool = False) -> StreamStep:
-        """Advance the beliefs over everything applied since the last solve."""
+        """Advance the beliefs over everything applied since the last solve.
+
+        Thread-safe: holds the session :attr:`lock` for the whole solve, so
+        readers block until the new belief matrix is installed.
+        """
+        with self.lock:
+            return self._propagate(force_full)
+
+    def _propagate(self, force_full: bool = False) -> StreamStep:
         spectral_seconds, drift = self._refresh_spectral()
 
         n_edges = self.graph.n_edges
@@ -344,11 +369,16 @@ class StreamingSession:
         return step
 
     def step(self, delta: GraphDelta, force_full: bool = False) -> StreamStep:
-        """Apply one delta and propagate: the per-event streaming path."""
-        apply_seconds = self.apply(delta)
-        outcome = self.propagate(force_full=force_full)
-        outcome.apply_seconds = apply_seconds
-        return outcome
+        """Apply one delta and propagate: the per-event streaming path.
+
+        Holds the (reentrant) session :attr:`lock` across both halves, so
+        no reader can slip in between the mutation and the solve.
+        """
+        with self.lock:
+            apply_seconds = self.apply(delta)
+            outcome = self.propagate(force_full=force_full)
+            outcome.apply_seconds = apply_seconds
+            return outcome
 
     # ---------------------------------------------------------------- helpers
     def _pad_previous(self, previous: PropagationResult) -> PropagationResult:
@@ -372,12 +402,20 @@ class StreamingSession:
         )
 
     def beliefs(self) -> np.ndarray | None:
-        """Current belief matrix (None before the first propagation)."""
-        return None if self.last_result is None else self.last_result.beliefs
+        """Current belief matrix (None before the first propagation).
+
+        Taking the session :attr:`lock` means a reader never sees beliefs
+        mid-update; callers that need several reads to be mutually
+        consistent (e.g. beliefs *and* the matching graph size) should hold
+        ``session.lock`` themselves around the group.
+        """
+        with self.lock:
+            return None if self.last_result is None else self.last_result.beliefs
 
     def labels(self) -> np.ndarray | None:
         """Current predicted labels (None before the first propagation)."""
-        return None if self.last_result is None else self.last_result.labels
+        with self.lock:
+            return None if self.last_result is None else self.last_result.labels
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (

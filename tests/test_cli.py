@@ -523,3 +523,112 @@ class TestShardedRunAndMerge:
         error = capsys.readouterr().err
         assert "line 2" in error
         assert "Traceback" not in error
+
+
+class TestStreamFromStore:
+    @pytest.fixture()
+    def store_with_run(self, tmp_path):
+        """A one-record store executed through the runner."""
+        from repro.runner.executor import execute_grid
+        from repro.runner.spec import GridSpec
+        from repro.runner.store import ResultStore
+
+        grid = GridSpec(
+            graphs=[{"kind": "generate", "n_nodes": 150, "n_edges": 900,
+                     "seed": 2, "name": "stored"}],
+            estimators=["MCE"],
+            label_fractions=[0.1],
+            name="cli-from-store",
+        )
+        store = ResultStore(tmp_path / "store")
+        execute_grid(grid, store=store)
+        return tmp_path / "store", grid.expand()[0].content_hash
+
+    def test_stream_from_store_synthesizes_events(self, store_with_run, capsys):
+        store_path, run_hash = store_with_run
+        exit_code = main([
+            "stream", run_hash[:12], "--from-store", str(store_path),
+            "--method", "GS", "--fraction", "0.1",
+            "--synth-events", "4", "--quiet",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rebuilt graph of record" in output
+        assert "synthesized 4 insertion events" in output
+        assert "5 steps" in output  # initial solve + 4 events
+
+    def test_stream_from_store_unknown_hash(self, store_with_run, capsys):
+        store_path, _ = store_with_run
+        exit_code = main([
+            "stream", "ffffffff", "--from-store", str(store_path),
+        ])
+        assert exit_code == 2
+        assert "no record with hash prefix" in capsys.readouterr().err
+
+    def test_stream_synthesizes_from_npz_without_events(self, graph_file, capsys):
+        exit_code = main([
+            "stream", str(graph_file), "--method", "GS", "--fraction", "0.1",
+            "--synth-events", "3", "--synth-initial", "0.7", "--quiet",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "synthesized 3 insertion events" in output
+
+    def test_synth_initial_out_of_range(self, graph_file, capsys):
+        exit_code = main([
+            "stream", str(graph_file), "--synth-initial", "1.5",
+        ])
+        assert exit_code == 2
+        assert "initial_fraction" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve(self):
+        args = build_parser().parse_args([
+            "serve", "graph.npz", "--port", "9000", "--max-batch", "32",
+            "--max-latency", "0.01", "--no-batching",
+        ])
+        assert args.command == "serve"
+        assert args.port == 9000
+        assert args.max_batch == 32
+        assert args.no_batching
+
+    def test_serve_missing_graph_file(self, capsys):
+        exit_code = main(["serve", "missing.npz", "--port", "0"])
+        assert exit_code == 2
+        assert "graph file not found" in capsys.readouterr().err
+
+    def test_serve_from_store_without_hash(self, tmp_path, capsys):
+        exit_code = main(["serve", "--from-store", str(tmp_path), "--port", "0"])
+        assert exit_code == 2
+        assert "needs a record hash" in capsys.readouterr().err
+
+    def test_serve_end_to_end_over_http(self, graph_file):
+        # Bind port 0, run serve_forever on a thread, exercise the JSON API
+        # exactly like the CI smoke test does with curl.
+        import json as json_module
+        import threading
+        import urllib.request
+
+        from repro.serve import InferenceService, MicroBatcher, make_server
+
+        service = InferenceService()
+        service.load_graph("default", path=graph_file, fraction=0.1)
+        with MicroBatcher(service) as batcher:
+            server = make_server(service, port=0, batcher=batcher)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                port = server.server_address[1]
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/graphs/default/query",
+                    data=json_module.dumps({"nodes": [0, 1]}).encode(),
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    payload = json_module.loads(response.read())
+                assert len(payload["beliefs"]) == 2
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)

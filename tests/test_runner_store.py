@@ -542,3 +542,55 @@ class TestReviewRegressions:
         assert store.read_manifest() is None  # regenerate instead of crash
         store.write_manifest()
         assert store.read_manifest()["n_records"] == 1
+
+
+class TestAppendMany:
+    """Batched appends: one backend write for N records, same semantics."""
+
+    def test_batch_persists_and_indexes(self, store_factory):
+        store = store_factory()
+        store.append_many([make_record("aaa"), make_record("bbb"),
+                           make_record("ccc")])
+        assert len(store) == 3
+        assert {"aaa", "bbb", "ccc"} <= set(store.hashes())
+        reopened = store_factory()
+        assert reopened.hashes() == store.hashes()
+        assert reopened.get("bbb") == store.get("bbb")
+
+    def test_empty_batch_is_a_noop(self, store_factory):
+        store = store_factory()
+        store.append_many([])
+        assert len(store) == 0
+        assert store.n_physical_records() == 0
+
+    def test_missing_hash_fails_whole_batch_before_persisting(self, store_factory):
+        store = store_factory()
+        with pytest.raises(ValueError, match="hash"):
+            store.append_many([make_record("aaa"), {"status": "ok"}])
+        assert len(store) == 0
+        assert store.n_physical_records() == 0
+
+    def test_batch_upserts_latest_wins(self, store_factory):
+        store = store_factory()
+        store.append(make_record("aaa", status="error"))
+        store.append_many([make_record("aaa"), make_record("bbb")])
+        assert store.get("aaa")["status"] == "ok"
+        assert store_factory().get("aaa")["status"] == "ok"
+
+    def test_jsonl_batch_is_one_contiguous_write(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append_many([make_record(f"k{i}") for i in range(5)])
+        lines = (store.results_path.read_bytes()).decode().splitlines()
+        assert len(lines) == 5
+        assert all(json.loads(line)["hash"] == f"k{i}"
+                   for i, line in enumerate(lines))
+
+    def test_jsonl_batch_repairs_truncated_tail_first(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(make_record("aaa"))
+        with store.results_path.open("ab") as handle:
+            handle.write(b'{"hash": "partial", "status')  # crash mid-append
+        recovering = ResultStore(tmp_path / "store")
+        recovering.append_many([make_record("bbb"), make_record("ccc")])
+        final = ResultStore(tmp_path / "store")
+        assert sorted(final.hashes()) == ["aaa", "bbb", "ccc"]

@@ -1,0 +1,176 @@
+"""HTTP round-trip tests for the serving endpoint (stdlib client only)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.compatibility import skew_compatibility
+from repro.graph.generator import generate_graph
+from repro.graph.io import save_graph_npz
+from repro.serve import InferenceService, MicroBatcher, make_server
+
+
+@pytest.fixture(scope="module")
+def http_graph():
+    return generate_graph(
+        300, 1_500, skew_compatibility(3, h=3.0), seed=6, name="http-test"
+    )
+
+
+@pytest.fixture()
+def server(http_graph):
+    service = InferenceService()
+    service.load_graph(
+        "g", graph=http_graph.copy(), propagator="linbp", fraction=0.1, seed=3
+    )
+    batcher = MicroBatcher(service, max_latency_seconds=0.005)
+    server = make_server(service, port=0, batcher=batcher)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.close()
+        thread.join(timeout=5)
+
+
+def call(server, method: str, path: str, body: dict | None = None):
+    """One JSON request against the test server; returns (status, payload)."""
+    port = server.server_address[1]
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = call(server, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"ok": True, "graphs": ["g"]}
+
+    def test_query_round_trip(self, server):
+        status, payload = call(
+            server, "POST", "/graphs/g/query",
+            {"nodes": [0, 7, 42], "top_k": 2},
+        )
+        assert status == 200
+        assert payload["nodes"] == [0, 7, 42]
+        assert len(payload["beliefs"]) == 3
+        assert len(payload["beliefs"][0]) == 3  # k classes
+        assert len(payload["top"][0]) == 2
+        assert set(payload["staleness"]) == {
+            "queries_since_refresh", "snapshot_age_seconds", "pending_deltas",
+        }
+        service = server.service
+        expected = service._served("g").session.last_result.beliefs[[0, 7, 42]]
+        np.testing.assert_allclose(payload["beliefs"], expected)
+
+    def test_delta_then_query_reflects_it(self, server):
+        _, before = call(server, "POST", "/graphs/g/query", {"nodes": [0]})
+        status, outcome = call(
+            server, "POST", "/graphs/g/delta", {"add_edges": [[0, 299]]},
+        )
+        assert status == 200
+        assert outcome["n_applied"] == 1
+        assert outcome["belief_version"] == before["belief_version"] + 1
+        _, after = call(server, "POST", "/graphs/g/query", {"nodes": [0]})
+        assert after["belief_version"] == before["belief_version"] + 1
+        assert after["staleness"]["queries_since_refresh"] == 0
+        assert np.abs(
+            np.asarray(after["beliefs"]) - np.asarray(before["beliefs"])
+        ).max() > 0
+
+    def test_load_query_unload_cycle(self, server, http_graph, tmp_path):
+        path = save_graph_npz(http_graph, tmp_path / "extra.npz")
+        status, payload = call(
+            server, "POST", "/graphs",
+            {"name": "extra", "path": str(path), "fraction": 0.1},
+        )
+        assert status == 201
+        assert payload["loaded"]["n_nodes"] == 300
+
+        status, info = call(server, "GET", "/graphs/extra")
+        assert status == 200
+        assert info["belief_version"] == 1
+
+        status, _ = call(server, "POST", "/graphs/extra/query", {"nodes": [1]})
+        assert status == 200
+
+        status, payload = call(server, "DELETE", "/graphs/extra")
+        assert status == 200
+        assert payload["unloaded"]["n_queries"] == 1
+
+        status, _ = call(server, "POST", "/graphs/extra/query", {"nodes": [1]})
+        assert status == 404
+
+    def test_stats_includes_batcher(self, server):
+        call(server, "POST", "/graphs/g/query", {"nodes": [3]})
+        status, stats = call(server, "GET", "/stats")
+        assert status == 200
+        assert stats["n_graphs"] == 1
+        assert stats["n_queries"] >= 1
+        assert stats["batcher"]["n_flushes"] >= 1
+        assert "g" in stats["graphs"]
+
+
+class TestErrorMapping:
+    def test_unknown_route_is_404(self, server):
+        assert call(server, "GET", "/nope")[0] == 404
+        assert call(server, "POST", "/graphs/g/bogus", {})[0] == 404
+
+    def test_unknown_graph_is_404(self, server):
+        status, payload = call(server, "POST", "/graphs/missing/query",
+                               {"nodes": [0]})
+        assert status == 404
+        assert "no graph named" in payload["error"]
+
+    def test_bad_nodes_is_400(self, server):
+        status, payload = call(server, "POST", "/graphs/g/query",
+                               {"nodes": [12345]})
+        assert status == 400
+        assert "0..299" in payload["error"]
+
+    def test_malformed_json_is_400(self, server):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/graphs/g/query",
+            data=b"{not json", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_payload_fields_are_400(self, server):
+        status, payload = call(server, "POST", "/graphs/g/query",
+                               {"nodes": [0], "surprise": 1})
+        assert status == 400
+        assert "surprise" in payload["error"]
+
+    def test_duplicate_load_is_409(self, server, http_graph, tmp_path):
+        path = save_graph_npz(http_graph, tmp_path / "dup.npz")
+        status, payload = call(
+            server, "POST", "/graphs", {"name": "g", "path": str(path)},
+        )
+        assert status == 409
+        assert "already loaded" in payload["error"]
+
+    def test_load_missing_file_is_400(self, server):
+        status, payload = call(
+            server, "POST", "/graphs",
+            {"name": "ghost", "path": "/nonexistent/g.npz"},
+        )
+        assert status == 400
+        assert "not found" in payload["error"]

@@ -136,3 +136,49 @@ class TestReplayWithEventFile(object):
         assert report.max_deviation is not None
         assert report.max_deviation <= 1e-6
         assert report.n_incremental >= 1
+
+
+class TestSynthesizeDeltaStream:
+    """Decomposing a batch graph into a replayable insertion stream."""
+
+    def test_replay_ends_at_the_original_graph(self):
+        from repro.stream import synthesize_delta_stream
+        from repro.stream.delta import apply_delta
+
+        graph = generate_graph(
+            200, 1_200, skew_compatibility(3, h=3.0), seed=19, name="synth"
+        )
+        initial, deltas = synthesize_delta_stream(
+            graph, n_events=6, initial_fraction=0.4, seed=3
+        )
+        assert initial.n_nodes == graph.n_nodes
+        assert initial.n_edges < graph.n_edges
+        assert len(deltas) == 6
+        adjacency = initial.adjacency
+        for delta in deltas:
+            adjacency = apply_delta(adjacency, delta).adjacency
+        assert adjacency.shape == graph.adjacency.shape
+        assert (adjacency != graph.adjacency).nnz == 0
+
+    def test_deterministic_in_seed(self):
+        from repro.stream import synthesize_delta_stream
+
+        graph = generate_graph(
+            100, 500, skew_compatibility(3, h=3.0), seed=21, name="synth-det"
+        )
+        initial_a, deltas_a = synthesize_delta_stream(graph, n_events=3, seed=5)
+        initial_b, deltas_b = synthesize_delta_stream(graph, n_events=3, seed=5)
+        assert (initial_a.adjacency != initial_b.adjacency).nnz == 0
+        for delta_a, delta_b in zip(deltas_a, deltas_b):
+            np.testing.assert_array_equal(delta_a.add_edges, delta_b.add_edges)
+
+    def test_bad_parameters(self):
+        from repro.stream import synthesize_delta_stream
+
+        graph = generate_graph(
+            50, 200, skew_compatibility(3, h=3.0), seed=23, name="synth-bad"
+        )
+        with pytest.raises(ValueError, match="initial_fraction"):
+            synthesize_delta_stream(graph, initial_fraction=0.0)
+        with pytest.raises(ValueError, match="n_events"):
+            synthesize_delta_stream(graph, n_events=0)
