@@ -29,6 +29,7 @@ from repro.core.compatibility import skew_compatibility
 from repro.eval.seeding import stratified_seed_labels
 from repro.graph.generator import generate_graph
 from repro.propagation import PROPAGATORS, get_propagator
+from repro.propagation import kernels
 
 # Iteration caps per algorithm so one benchmark pass stays comparable: the
 # slow reference algorithms (loopy BP) get the same sweep budget as the rest.
@@ -62,6 +63,11 @@ def bench_propagators(
         graph.require_labels(), fraction=label_fraction, rng=seed
     )
 
+    # One untimed warmup per kernel backend (absorbs numba JIT compilation
+    # when that backend is active) so timed calls see steady-state kernels.
+    kernels.warmup()
+    print(f"kernel backend: {kernels.active_backend()}")
+
     results: dict = {
         "graph": {
             "n_nodes": graph.n_nodes,
@@ -69,6 +75,7 @@ def bench_propagators(
             "n_classes": n_classes,
             "label_fraction": label_fraction,
         },
+        "kernel_backend": kernels.active_backend(),
         "max_iterations": BENCH_MAX_ITERATIONS,
         "repeats": repeats,
         "propagators": {},

@@ -12,9 +12,27 @@ random edges) the benchmark measures, on the same updated graph:
   transparency;
 * **incremental** — ``StreamingSession.step``: ``O(nnz + delta)`` CSR
   mutation, warm Lanczos spectral-radius restart, warm-started fixed point;
+* **localized** — the same session scenario with residual-push localized
+  solves opted in (``localized=True``), plus its frontier-size /
+  touched-nonzeros statistics;
 
-plus the max belief deviation between the incremental and full-rebuild
-answers (the correctness contract: ≤ 1e-6).
+Session timings are *steady-state*: each session absorbs one unmeasured
+warmup delta between the anchor solve and the timed step, so one-off
+anchor transients (first warm restart, scaling-ladder rung sync) are paid
+where a real stream pays them — once, not on every step.  The full solves
+run on the final graph (base + warmup + measured edges), so the deviation
+check still compares identical fixed points.
+
+plus the max belief deviation of the incremental *and* localized answers
+against the full rebuild (the correctness contract: ≤ 1e-6).
+
+One untimed warmup solve runs per kernel backend before measurement (on the
+numba backend this absorbs JIT compilation), and the backend name is
+recorded in the output JSON.
+
+A large tier (1M nodes / 2M edges by default) measuring localized vs the
+plain warm path runs when ``--large`` is passed or ``REPRO_BENCH_LARGE`` is
+set to a truthy value.
 
 Writes ``BENCH_stream.json`` next to the repository root (or to
 ``--output``), extending the performance trajectory of
@@ -25,12 +43,14 @@ Usage
     PYTHONPATH=src python benchmarks/bench_stream.py
     PYTHONPATH=src python benchmarks/bench_stream.py --nodes 20000 --edges 50000
     PYTHONPATH=src python benchmarks/bench_stream.py --propagators linbp,lgc
+    REPRO_BENCH_LARGE=1 PYTHONPATH=src python benchmarks/bench_stream.py
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 
@@ -41,6 +61,7 @@ from repro.core.statistics import gold_standard_compatibility
 from repro.eval.seeding import stratified_seed_labels
 from repro.graph.generator import generate_graph
 from repro.graph.graph import Graph
+from repro.propagation import kernels
 from repro.propagation.engine import get_propagator
 from repro.stream import GraphDelta, StreamingSession
 
@@ -83,8 +104,16 @@ def bench_one(graph, compatibility, seed_labels, propagator_name: str,
     n_delta = max(1, int(delta_fraction * base_edges.shape[0]))
 
     full_rebuild, full_cached, incremental, deviations = [], [], [], []
+    localized, localized_deviations = [], []
+    localized_modes: list[str] = []
+    frontier_sizes: list[int] = []
+    touched_counts: list[int] = []
     for _ in range(n_repeats):
-        new_edges = fresh_random_edges(graph.adjacency, n_delta, rng)
+        # One pool of fresh edges, split into a warmup delta (absorbed
+        # untimed, bringing each session to streaming steady state) and the
+        # measured delta — disjoint by construction.
+        pool = fresh_random_edges(graph.adjacency, 2 * n_delta, rng)
+        warm_edges, new_edges = pool[:n_delta], pool[n_delta:]
 
         # Incremental: a session anchored on the base graph takes the delta.
         session = StreamingSession(
@@ -94,14 +123,33 @@ def bench_one(graph, compatibility, seed_labels, propagator_name: str,
             seed_labels=seed_labels,
         )
         session.propagate()
+        session.step(GraphDelta(add_edges=warm_edges))
         step = session.step(GraphDelta(add_edges=new_edges))
         incremental.append(step.total_seconds)
+
+        # Localized: the same scenario with residual push opted in.
+        localized_session = StreamingSession(
+            graph.copy(),
+            get_propagator(propagator_name, **config),
+            compatibility=compatibility,
+            seed_labels=seed_labels,
+            localized=True,
+        )
+        localized_session.propagate()
+        localized_session.step(GraphDelta(add_edges=warm_edges))
+        localized_step = localized_session.step(GraphDelta(add_edges=new_edges))
+        localized.append(localized_step.total_seconds)
+        localized_modes.append(localized_step.mode)
+        touched_counts.append(int(localized_step.touched_nnz))
+        details = localized_step.result.details
+        if details.get("localized"):
+            frontier_sizes.append(int(details.get("max_frontier", 0)))
 
         # Full rebuild: edge list -> Graph -> fresh operators -> cold solve.
         propagator = get_propagator(propagator_name, **config)
         start = time.perf_counter()
         rebuilt = Graph.from_edges(
-            np.vstack([base_edges, new_edges]),
+            np.vstack([base_edges, warm_edges, new_edges]),
             n_nodes=graph.n_nodes,
             labels=labels,
             n_classes=graph.n_classes,
@@ -129,6 +177,9 @@ def bench_one(graph, compatibility, seed_labels, propagator_name: str,
         full_cached.append(time.perf_counter() - start)
 
         deviations.append(float(np.abs(step.result.beliefs - result_full.beliefs).max()))
+        localized_deviations.append(
+            float(np.abs(localized_step.result.beliefs - result_full.beliefs).max())
+        )
 
     record = {
         "propagator": propagator_name,
@@ -137,15 +188,112 @@ def bench_one(graph, compatibility, seed_labels, propagator_name: str,
         "full_rebuild_seconds": float(np.median(full_rebuild)),
         "full_cached_graph_seconds": float(np.median(full_cached)),
         "incremental_seconds": float(np.median(incremental)),
+        "localized_seconds": float(np.median(localized)),
+        "localized_modes": localized_modes,
         "speedup_vs_rebuild": float(np.median(full_rebuild) / np.median(incremental)),
         "speedup_vs_cached": float(np.median(full_cached) / np.median(incremental)),
+        "localized_speedup_vs_rebuild": float(
+            np.median(full_rebuild) / np.median(localized)
+        ),
+        "localized_speedup_vs_cached": float(
+            np.median(full_cached) / np.median(localized)
+        ),
+        "localized_speedup_vs_warm": float(
+            np.median(incremental) / np.median(localized)
+        ),
+        "max_frontier": int(np.median(frontier_sizes)) if frontier_sizes else None,
+        "touched_nnz": int(np.median(touched_counts)) if touched_counts else None,
         "max_belief_deviation": float(np.max(deviations)),
+        "localized_max_belief_deviation": float(np.max(localized_deviations)),
     }
     print(f"{propagator_name:10s} delta {delta_fraction:6.3%} ({n_delta:6d} edges): "
           f"full {record['full_rebuild_seconds']*1e3:8.1f} ms, "
-          f"incr {record['incremental_seconds']*1e3:7.1f} ms "
-          f"-> {record['speedup_vs_rebuild']:5.2f}x "
-          f"(dev {record['max_belief_deviation']:.1e})")
+          f"incr {record['incremental_seconds']*1e3:7.1f} ms, "
+          f"loc {record['localized_seconds']*1e3:7.1f} ms "
+          f"-> {record['localized_speedup_vs_cached']:5.2f}x vs cached "
+          f"(dev {record['localized_max_belief_deviation']:.1e}, "
+          f"frontier {record['max_frontier']}, "
+          f"touched {record['touched_nnz']})")
+    return record
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def bench_large(args, rng) -> dict:
+    """Large tier: localized vs the plain warm path on a 1M/2M graph.
+
+    No cold re-solves here (they would dominate the tier's runtime without
+    adding information); the comparison the tier exists for is the
+    residual-push frontier against full dense warm sweeps at a scale where
+    ``O(nnz)`` per sweep genuinely hurts.  The default delta is an order
+    smaller than the small tier's smallest: locality is a function of the
+    *absolute* perturbation, so holding the fraction constant while the
+    graph grows 10x would push the ball past the crossover the small tier
+    already maps.
+    """
+    compatibility = skew_compatibility(args.classes, h=3.0)
+    print(f"large tier: generating {args.large_nodes:,} nodes / "
+          f"{args.large_edges:,} edges ...")
+    graph = generate_graph(
+        args.large_nodes, args.large_edges, compatibility,
+        seed=args.seed, name="bench-stream-large",
+    )
+    seed_labels = stratified_seed_labels(
+        graph.require_labels(), fraction=args.fraction, rng=3
+    )
+    gold = gold_standard_compatibility(graph)
+    config = PROPAGATOR_CONFIGS["linbp"]
+    n_delta = max(1, int(args.large_delta * graph.n_edges))
+
+    measurements = {"incremental": [], "localized": []}
+    frontier_sizes, touched_counts, deviations = [], [], []
+    for _ in range(max(1, args.large_repeats)):
+        pool = fresh_random_edges(graph.adjacency, 2 * n_delta, rng)
+        warm_edges, new_edges = pool[:n_delta], pool[n_delta:]
+        steps = {}
+        for mode, flag in (("incremental", False), ("localized", True)):
+            session = StreamingSession(
+                graph.copy(),
+                get_propagator("linbp", **config),
+                compatibility=gold,
+                seed_labels=seed_labels,
+                localized=flag,
+            )
+            session.propagate()
+            session.step(GraphDelta(add_edges=warm_edges))
+            step = session.step(GraphDelta(add_edges=new_edges))
+            measurements[mode].append(step.total_seconds)
+            steps[mode] = step
+        details = steps["localized"].result.details
+        if details.get("localized"):
+            frontier_sizes.append(int(details.get("max_frontier", 0)))
+        touched_counts.append(int(steps["localized"].touched_nnz))
+        deviations.append(float(np.abs(
+            steps["localized"].result.beliefs - steps["incremental"].result.beliefs
+        ).max()))
+
+    warm = float(np.median(measurements["incremental"]))
+    local = float(np.median(measurements["localized"]))
+    record = {
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "propagator": "linbp",
+        "delta_fraction": args.large_delta,
+        "n_delta_edges": n_delta,
+        "incremental_seconds": warm,
+        "localized_seconds": local,
+        "localized_speedup_vs_warm": warm / local if local > 0 else None,
+        "max_frontier": int(np.median(frontier_sizes)) if frontier_sizes else None,
+        "touched_nnz": int(np.median(touched_counts)) if touched_counts else None,
+        "max_belief_deviation": float(np.max(deviations)),
+    }
+    print(f"large tier   delta {args.large_delta:6.3%} ({n_delta:6d} edges): "
+          f"warm {warm*1e3:8.1f} ms, loc {local*1e3:7.1f} ms "
+          f"-> {record['localized_speedup_vs_warm']:5.2f}x vs warm "
+          f"(dev {record['max_belief_deviation']:.1e}, "
+          f"frontier {record['max_frontier']}, touched {record['touched_nnz']})")
     return record
 
 
@@ -162,11 +310,29 @@ def main(argv=None) -> int:
                         help="comma-separated registry names (or 'all')")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--large", action="store_true",
+                        help="also run the 1M-node/2M-edge localized tier "
+                             "(or set REPRO_BENCH_LARGE=1)")
+    parser.add_argument("--large-nodes", type=int, default=1_000_000)
+    parser.add_argument("--large-edges", type=int, default=2_000_000)
+    parser.add_argument("--large-delta", type=float, default=0.0001,
+                        help="delta size (edge fraction) for the large tier "
+                             "(default 1e-4: the tier probes locality at "
+                             "scale, and a fixed *fraction* grows the "
+                             "absolute delta — and its push ball — past the "
+                             "locality crossover the small tier already maps)")
+    parser.add_argument("--large-repeats", type=int, default=1)
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_stream.json"),
     )
     args = parser.parse_args(argv)
+
+    # One untimed warmup per kernel backend: on numba this absorbs the JIT
+    # compile so the timed cells see steady-state kernels.
+    kernels.warmup()
+    print(f"kernel backend: {kernels.active_backend()} "
+          f"(available: {', '.join(kernels.available_backends())})")
 
     compatibility = skew_compatibility(args.classes, h=3.0)
     graph = generate_graph(
@@ -197,9 +363,12 @@ def main(argv=None) -> int:
             "n_classes": args.classes,
             "seed_fraction": args.fraction,
         },
+        "kernel_backend": kernels.active_backend(),
         "n_repeats": args.repeats,
         "records": records,
     }
+    if args.large or _env_flag("REPRO_BENCH_LARGE"):
+        results["large_tier"] = bench_large(args, rng)
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {output}")

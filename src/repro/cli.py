@@ -237,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--verify-tolerance", type=float, default=1e-6,
                         help="fail (exit 1) when a verified deviation "
                              "exceeds this bound")
+    stream.add_argument("--localized", action="store_true",
+                        help="opt small deltas into the residual-push "
+                             "localized solver (iterates only the "
+                             "delta-affected frontier)")
     stream.add_argument("--lenient", action="store_true",
                         help="tolerate duplicate edge insertions (weights "
                              "sum) and removals of absent edges (no-ops)")
@@ -273,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fixed-point sweep cap (serving needs converged "
                             "solves)")
     serve.add_argument("--tolerance", type=float, default=1e-8)
+    serve.add_argument("--localized", action="store_true",
+                       help="opt the preloaded graph's session into "
+                            "residual-push localized solves for small deltas")
     serve.add_argument("--max-batch", type=int, default=128, dest="max_batch",
                        help="flush a micro-batch once this many requests wait")
     serve.add_argument("--max-latency", type=float, default=0.002,
@@ -614,6 +621,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         verify_every=args.verify_every,
         score=not args.no_score,
         strict=not args.lenient,
+        localized=args.localized,
     )
     if not args.quiet:
         for record in report.steps:
@@ -626,13 +634,20 @@ def _command_stream(args: argparse.Namespace) -> int:
                          f"dev {record.deviation:.1e}]")
             print(line)
 
+    from repro.propagation import kernels
+
     print(f"{len(report.steps)} steps: {report.n_incremental} incremental, "
-          f"{report.n_full} full")
+          f"{report.n_localized} localized, {report.n_full} full "
+          f"[kernels: {kernels.active_backend()}]")
+    print(f"touched nonzeros (cumulative): {report.total_touched_nnz:,}")
     if report.final_accuracy is not None:
         print(f"final accuracy: {report.final_accuracy:.4f}")
     if report.mean_seconds("incremental") is not None:
         print(f"mean incremental step: "
               f"{report.mean_seconds('incremental') * 1e3:.1f} ms")
+    if report.mean_seconds("localized") is not None:
+        print(f"mean localized step: "
+              f"{report.mean_seconds('localized') * 1e3:.1f} ms")
     if report.verified_speedup is not None:
         print(f"verified full re-solve speedup: {report.verified_speedup:.2f}x")
     if report.max_deviation is not None:
@@ -666,6 +681,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             iterations=args.iterations,
             tolerance=args.tolerance,
+            localized=args.localized,
         )
         try:
             if args.from_store:

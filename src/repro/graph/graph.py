@@ -44,8 +44,10 @@ def labels_from_one_hot(beliefs: np.ndarray) -> np.ndarray:
     counts them as incorrect, which matches the paper's accuracy definition.
     """
     beliefs = np.asarray(beliefs, dtype=np.float64)
-    predicted = np.argmax(beliefs, axis=1).astype(np.int64)
-    no_information = np.abs(beliefs).sum(axis=1) == 0
+    predicted = np.argmax(beliefs, axis=1).astype(np.int64, copy=False)
+    # A row carries no information iff every entry is exactly zero; the
+    # boolean any-reduce avoids materializing |beliefs| just for this test.
+    no_information = ~beliefs.any(axis=1)
     predicted[no_information] = -1
     return predicted
 

@@ -163,11 +163,17 @@ class GraphOperators:
     ) -> float:
         """Memoized LinBP convergence scaling ``epsilon`` (Eq. 2).
 
-        ``rho(W)`` comes from the per-graph cache; the cheap ``k x k``
-        ``rho(H~)`` is memoized per (compatibility bytes, safety) so repeated
-        experiment points with the same estimate skip even the dense solve.
+        ``rho(W)`` comes from the per-graph cache and is snapped *up* onto
+        the binary scaling ladder (:func:`~repro.propagation.convergence.
+        quantize_radius`) before use: the ceiling preserves the convergence
+        guarantee, and the coarse grid makes the scaling bit-identical
+        between a streaming session's warm radius estimate and a cold
+        re-solve, so sub-rung spectral drift no longer moves the fixed
+        point on every row.  The cheap ``k x k`` ``rho(H~)`` is memoized per
+        (compatibility bytes, safety) so repeated experiment points with
+        the same estimate skip even the dense solve.
         """
-        from repro.propagation.convergence import spectral_radius
+        from repro.propagation.convergence import quantize_radius, spectral_radius
 
         compatibility = np.ascontiguousarray(centered_compatibility, dtype=np.float64)
         key = (compatibility.tobytes(), compatibility.shape, float(safety), seed)
@@ -177,7 +183,7 @@ class GraphOperators:
             if radius_w == 0 or radius_h == 0:
                 scaling = 1.0
             else:
-                scaling = float(safety / (radius_w * radius_h))
+                scaling = float(safety / (quantize_radius(radius_w) * radius_h))
             self._scaling_cache[key] = scaling
         return self._scaling_cache[key]
 

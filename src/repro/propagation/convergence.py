@@ -10,6 +10,7 @@ matrix-vector products and therefore scales to the largest graphs we build.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +27,55 @@ __all__ = [
     "linbp_scaling",
     "SpectralState",
     "lanczos_spectral_state",
+    "quantize_radius",
+    "radius_ladder_gap",
+    "RADIUS_LADDER_BITS",
 ]
+
+
+# The spectral radius feeding the LinBP scaling moves onto a coarse binary
+# ladder (relative grid ``2**-RADIUS_LADDER_BITS``, ~0.8%) before the
+# scaling is formed.  Rationale: epsilon is a convergence *heuristic* — any
+# value under the safety bound is valid — but because it multiplies the
+# coupling on every row, a streaming session that re-estimates rho(W) after
+# each delta would move the fixed point globally by the estimate's drift,
+# forcing warm solvers to re-touch every node for a parameter change of
+# ~1e-4.  Snapping rho(W) to the ladder makes the scaling *bit-identical*
+# between a warm session and a cold re-solve whenever their radius
+# estimates agree to well under one rung, so small deltas leave the fixed
+# point unchanged outside the delta's own neighborhood.  Ceiling (never
+# flooring) keeps the quantized radius an upper bound, preserving the
+# convergence guarantee; every operation is exact in binary floating point,
+# so the rung choice is deterministic across machines and backends.
+RADIUS_LADDER_BITS = 7
+
+
+def quantize_radius(radius: float) -> float:
+    """Ceil ``radius`` onto the binary scaling ladder (see above)."""
+    radius = float(radius)
+    if radius <= 0.0 or not math.isfinite(radius):
+        return radius
+    exponent = math.frexp(radius)[1] - 1  # radius = m * 2**exponent, m in [1,2)
+    rung = math.ldexp(1.0, exponent - RADIUS_LADDER_BITS)
+    return math.ceil(radius / rung) * rung
+
+
+def radius_ladder_gap(radius: float) -> float:
+    """Relative distance from ``radius`` to its nearest ladder rung.
+
+    A warm radius estimate whose error could straddle a rung boundary must
+    be refined before it feeds the scaling — otherwise the warm session and
+    a cold solve could snap to different rungs and disagree by a whole grid
+    step.  Callers compare this gap against their estimate's error bound.
+    """
+    radius = float(radius)
+    if radius <= 0.0 or not math.isfinite(radius):
+        return float("inf")
+    exponent = math.frexp(radius)[1] - 1
+    rung = math.ldexp(1.0, exponent - RADIUS_LADDER_BITS)
+    steps = radius / rung
+    fraction = steps - math.floor(steps)
+    return min(fraction, 1.0 - fraction) * rung / radius
 
 
 def power_iteration_radius(
@@ -109,11 +158,20 @@ class SpectralState:
         restart the streaming layer relies on.
     n_steps:
         Lanczos steps (= matrix-vector products) actually performed.
+    residual_bound:
+        Estimated eigenvalue error of ``radius``: the certified Ritz
+        residual ``beta_k |y_k|`` sharpened by Temple's inequality
+        (``residual^2 / ritz_gap``) when a gap estimate is available.  Lets
+        callers trust a coarse estimate — or detect that it must be
+        refined before a discrete decision (e.g. picking a scaling-ladder
+        rung) depends on it.  Zero for exact states (primed or
+        invariant-subspace exits).
     """
 
     radius: float
     vector: np.ndarray
     n_steps: int
+    residual_bound: float = 0.0
 
 
 def lanczos_spectral_state(
@@ -156,6 +214,7 @@ def lanczos_spectral_state(
     betas: list[float] = []
     previous = None
     radius = 0.0
+    residual_bound = float("inf")
     ritz_weights = np.ones(1)
     for step in range(max_steps):
         product = matrix @ basis[-1]
@@ -175,13 +234,27 @@ def lanczos_spectral_state(
         dominant = int(np.argmax(np.abs(eigenvalues)))
         radius = float(abs(eigenvalues[dominant]))
         ritz_weights = eigenvectors[:, dominant]
+        beta = float(np.linalg.norm(product))
+        # Lanczos residual identity: ||A x - theta x|| = beta_{k+1} |y_k|
+        # for the Ritz pair assembled from the current basis.  For the
+        # *eigenvalue* the linear bound is wildly pessimistic — symmetric
+        # Ritz values converge quadratically — so sharpen it with Temple's
+        # inequality, |lambda - theta| <= residual^2 / gap, using the Ritz
+        # spread as the gap estimate once a second Ritz value exists.
+        residual = beta * float(abs(ritz_weights[-1]))
+        residual_bound = residual
+        if eigenvalues.shape[0] > 1:
+            others = np.delete(np.abs(eigenvalues), dominant)
+            gap = float(np.abs(others - radius).min())
+            if gap > residual:
+                residual_bound = residual * residual / gap
         if previous is not None and abs(radius - previous) <= tolerance * max(
             radius, 1e-300
         ):
             break
         previous = radius
-        beta = float(np.linalg.norm(product))
         if beta < 1e-14:
+            residual_bound = 0.0
             break  # invariant subspace: the estimate is exact
         betas.append(beta)
         basis.append(product / beta)
@@ -191,7 +264,7 @@ def lanczos_spectral_state(
     norm = np.linalg.norm(ritz_vector)
     if norm > 0:
         ritz_vector /= norm
-    return SpectralState(radius, ritz_vector, len(alphas))
+    return SpectralState(radius, ritz_vector, len(alphas), residual_bound)
 
 
 def linbp_scaling(
@@ -199,13 +272,16 @@ def linbp_scaling(
 ) -> float:
     """The scaling factor ``epsilon`` that guarantees LinBP convergence.
 
-    Returns ``epsilon = safety / (rho(W) * rho(H~))`` so that the scaled
-    compatibility matrix satisfies the convergence condition of Eq. 2 with a
-    margin of ``safety`` (the paper uses ``s = 0.5``).
+    Returns ``epsilon = safety / (ceil_ladder(rho(W)) * rho(H~))`` so that
+    the scaled compatibility matrix satisfies the convergence condition of
+    Eq. 2 with a margin of ``safety`` (the paper uses ``s = 0.5``).
+    ``rho(W)`` is snapped up onto the scaling ladder (see
+    :func:`quantize_radius`) before use, so streaming re-estimates that
+    drift by less than a rung reproduce the batch scaling exactly.
     """
     check_positive(safety, "safety")
     radius_w = spectral_radius(adjacency, seed=seed)
     radius_h = spectral_radius(np.asarray(centered_compatibility), seed=seed)
     if radius_w == 0 or radius_h == 0:
         return 1.0
-    return float(safety / (radius_w * radius_h))
+    return float(safety / (quantize_radius(radius_w) * radius_h))

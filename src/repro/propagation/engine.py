@@ -35,6 +35,7 @@ import scipy.sparse as sp
 
 from repro.graph.graph import labels_from_one_hot, one_hot_labels
 from repro.graph.operators import GraphOperators, operators_for
+from repro.propagation.push import LinearFixedPoint, LocalizedHint, solve_localized
 from repro.utils.validation import check_labels, check_positive, check_square
 
 __all__ = [
@@ -199,6 +200,19 @@ class Propagator(abc.ABC):
     #: to decide whether it must maintain a warm dominant-eigenpair estimate
     #: across graph deltas.
     uses_spectral_scaling = False
+    #: True when the algorithm is a linear fixed point ``F = B + A F C``
+    #: and implements :meth:`linear_system`, enabling the residual-push
+    #: localized solve mode (``localized=`` on :meth:`propagate`).
+    #: Algorithms that stay False (loopy BP, echo LinBP, co-citation) fall
+    #: back to their dense path with exact parity — the ``localized``
+    #: request is simply ignored.
+    supports_localized = False
+    #: How far a revealed label perturbs the fixed point's offset ``B``:
+    #: ``"node"`` (only the revealed row changes — the default) or
+    #: ``"class"`` (every seed of the revealed class changes, e.g. MRW's
+    #: per-class teleport renormalization).  The streaming session widens
+    #: its localized hints accordingly.
+    localized_reveal_scope = "node"
 
     def __init__(
         self,
@@ -221,6 +235,7 @@ class Propagator(abc.ABC):
         prior_beliefs=None,
         n_classes: int | None = None,
         warm_start: "PropagationResult | np.ndarray | None" = None,
+        localized: "bool | LocalizedHint | None" = None,
     ) -> PropagationResult:
         """Run the algorithm and return a :class:`PropagationResult`.
 
@@ -250,6 +265,16 @@ class Propagator(abc.ABC):
             answer as a cold one — just in fewer sweeps when the graph or
             labels changed only slightly.  Ignored by propagators whose
             :attr:`supports_warm_start` is False.
+        localized:
+            Opt into the residual-push localized solve (requires a
+            ``warm_start`` and :attr:`supports_localized`): ``True`` seeds
+            the residual with one dense pass, a
+            :class:`~repro.propagation.push.LocalizedHint` names the
+            delta-affected rows so even the seeding is local.  The push
+            loop drains residuals to the propagator ``tolerance``, so the
+            answer matches the dense fixed point to the solver tolerance.
+            Propagators without localized support run their dense path
+            unchanged (exact-parity fallback).
         """
         operators = operators_for(graph)
         n_nodes = operators.n_nodes
@@ -283,9 +308,15 @@ class Propagator(abc.ABC):
             )
 
         warm = self._resolve_warm_start(warm_start, n_nodes, n_classes)
+        wants_localized = localized is not None and localized is not False
 
         start = time.perf_counter()
-        if warm is not None:
+        if wants_localized and self.supports_localized and warm is not None:
+            outcome = self._run_localized(
+                operators, prior_beliefs, seed_labels, n_classes, compatibility,
+                warm, localized,
+            )
+        elif warm is not None:
             outcome = self._run(
                 operators, prior_beliefs, seed_labels, n_classes, compatibility,
                 warm_start=warm,
@@ -313,6 +344,65 @@ class Propagator(abc.ABC):
             details=details,
             state=state,
         )
+
+    # ------------------------------------------------------------- localized
+    def linear_system(
+        self,
+        operators: GraphOperators,
+        prior_beliefs,
+        seed_labels: np.ndarray | None,
+        n_classes: int,
+        compatibility: np.ndarray | None,
+    ) -> LinearFixedPoint:
+        """Express this algorithm as ``F = B + A F C`` for the push solver.
+
+        Implemented by propagators that set :attr:`supports_localized`;
+        returns the :class:`~repro.propagation.push.LinearFixedPoint` whose
+        fixed point equals the dense path's converged beliefs.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not define a linear fixed-point form"
+        )
+
+    def _localized_prepare(
+        self, warm: "WarmStart", spec: LinearFixedPoint
+    ) -> tuple[np.ndarray, bool]:
+        """Warm initial iterate for a localized solve, plus hint validity.
+
+        Returns ``(initial, hint_ok)``: the float64 starting beliefs (a
+        fresh array the solver may mutate) and whether a caller-supplied
+        :class:`LocalizedHint` is still trustworthy.  Subclasses override
+        to apply warm-start corrections — LinBP's epsilon-drift adjustment
+        perturbs *every* row, so it also invalidates local hints once the
+        leftover second-order residual could exceed the push threshold.
+        """
+        return np.array(warm.beliefs, dtype=np.float64, copy=True), True
+
+    def _run_localized(
+        self,
+        operators: GraphOperators,
+        prior_beliefs,
+        seed_labels: np.ndarray | None,
+        n_classes: int,
+        compatibility: np.ndarray | None,
+        warm: "WarmStart",
+        request,
+    ) -> tuple[np.ndarray, int, bool, list[float], dict]:
+        spec = self.linear_system(
+            operators, prior_beliefs, seed_labels, n_classes, compatibility
+        )
+        initial, hint_ok = self._localized_prepare(warm, spec)
+        hint = request if isinstance(request, LocalizedHint) and hint_ok else None
+        beliefs, rounds, converged, residuals, stats = solve_localized(
+            spec,
+            initial,
+            epsilon=self.tolerance,
+            max_rounds=self.max_iterations,
+            hint=hint,
+        )
+        details = dict(spec.details)
+        details.update(stats)
+        return beliefs, rounds, converged, residuals, details
 
     # --------------------------------------------------------------- helpers
     def _resolve_n_classes(

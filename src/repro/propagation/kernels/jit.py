@@ -1,0 +1,297 @@
+"""Numba-jitted kernels: loop implementations of the reference semantics.
+
+Importable with or without numba on the machine: when numba is absent the
+``@njit`` decorator degrades to a no-op, ``NUMBA_AVAILABLE`` is False, and
+every kernel still runs as plain (slow) Python — which is exactly how the
+test suite checks, on numba-less machines, that these loops reproduce the
+reference kernels bitwise.  The backend selector in
+:mod:`repro.propagation.kernels` only ever routes real traffic here when
+numba actually imported.
+
+Floating-point accumulation order is the contract: the scatter loops run
+source-major in CSR position order and the next frontier is sorted unique,
+matching ``np.add.at`` / ``np.unique`` in the reference module, so numpy and
+numba beliefs agree to the last bit.  Coupling products go through the same
+``@`` matmul on the same contiguous arrays as the reference (one BLAS call,
+not a hand-rolled loop) for the same reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default in slim environments
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # noqa: D103 - identity fallback decorator
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "full_residual",
+    "seed_residual_rows",
+    "push_rounds",
+    "fused_sweep",
+]
+
+_EMPTY_COUPLING = np.zeros((0, 0), dtype=np.float64)
+
+
+@njit(cache=True)
+def _gather_rows(indptr, indices, data, colscale, beliefs, rows):
+    """Per-row neighbor accumulation ``sum_p data[p] colscale[v] F[v]``."""
+    k = beliefs.shape[1]
+    gathered = np.zeros((rows.shape[0], k), dtype=np.float64)
+    total = 0
+    for i in range(rows.shape[0]):
+        u = rows[i]
+        for p in range(indptr[u], indptr[u + 1]):
+            v = indices[p]
+            w = data[p] * colscale[v]
+            for c in range(k):
+                gathered[i, c] += w * beliefs[v, c]
+        total += indptr[u + 1] - indptr[u]
+    return gathered, total
+
+
+@njit(cache=True)
+def _full_residual(indptr, indices, data, rowscale, colscale, coupling,
+                   has_coupling, offset, beliefs):
+    n = indptr.shape[0] - 1
+    k = beliefs.shape[1]
+    propagated = np.empty((n, k), dtype=np.float64)
+    for u in range(n):
+        for c in range(k):
+            propagated[u, c] = 0.0
+        for p in range(indptr[u], indptr[u + 1]):
+            v = indices[p]
+            w = data[p]
+            # Associate as data * (beliefs * colscale): the reference path
+            # pre-scales the beliefs before the sparse matvec, and bitwise
+            # parity requires reproducing that rounding order.
+            for c in range(k):
+                propagated[u, c] += w * (beliefs[v, c] * colscale[v])
+        for c in range(k):
+            propagated[u, c] *= rowscale[u]
+    if has_coupling:
+        propagated = propagated @ coupling
+    for u in range(n):
+        for c in range(k):
+            propagated[u, c] += offset[u, c]
+            propagated[u, c] -= beliefs[u, c]
+    return propagated
+
+
+def full_residual(indptr, indices, data, rowscale, colscale, coupling,
+                  offset, beliefs):
+    """Dense residual ``R = B + A F C - F`` — see the reference module."""
+    has_coupling = coupling is not None
+    return _full_residual(
+        indptr, indices, data, rowscale, colscale,
+        coupling if has_coupling else _EMPTY_COUPLING, has_coupling,
+        offset, beliefs,
+    )
+
+
+@njit(cache=True)
+def _seed_residual_rows(indptr, indices, data, rowscale, colscale, coupling,
+                        has_coupling, offset, beliefs, rows, residual):
+    gathered, total = _gather_rows(indptr, indices, data, colscale, beliefs, rows)
+    k = beliefs.shape[1]
+    for i in range(rows.shape[0]):
+        for c in range(k):
+            gathered[i, c] *= rowscale[rows[i]]
+    if has_coupling:
+        gathered = gathered @ coupling
+    for i in range(rows.shape[0]):
+        u = rows[i]
+        for c in range(k):
+            residual[u, c] = offset[u, c] + gathered[i, c] - beliefs[u, c]
+    return total
+
+
+def seed_residual_rows(indptr, indices, data, rowscale, colscale, coupling,
+                       offset, beliefs, rows, residual):
+    """Exact residual on ``rows`` only — see the reference module."""
+    if rows.shape[0] == 0:
+        return 0
+    has_coupling = coupling is not None
+    return int(_seed_residual_rows(
+        indptr, indices, data, rowscale, colscale,
+        coupling if has_coupling else _EMPTY_COUPLING, has_coupling,
+        offset, beliefs, rows.astype(np.int64), residual,
+    ))
+
+
+@njit(cache=True)
+def _push_rounds(indptr, indices, data, rowscale, colscale, coupling,
+                 has_coupling, beliefs, residual, frontier, epsilon,
+                 max_rounds, history):
+    n = beliefs.shape[0]
+    k = beliefs.shape[1]
+    nnz = indptr[n]
+    touched_nnz = 0
+    max_frontier = 0
+    rounds = 0
+    marked = np.zeros(n, dtype=np.uint8)
+    scratch = np.zeros((n, k), dtype=np.float64)
+    while rounds < max_rounds and frontier.shape[0] > 0:
+        fsize = frontier.shape[0]
+        if fsize > max_frontier:
+            max_frontier = fsize
+        # Absorb the frontier residuals into the beliefs *before* any
+        # scatter: a frontier node receiving mass from a frontier sibling
+        # this round must keep it in its residual, not lose it to zeroing.
+        pushed = np.empty((fsize, k), dtype=np.float64)
+        peak = 0.0
+        for i in range(fsize):
+            u = frontier[i]
+            for c in range(k):
+                value = residual[u, c]
+                pushed[i, c] = value
+                beliefs[u, c] += value
+                residual[u, c] = 0.0
+                magnitude = abs(value)
+                if magnitude > peak:
+                    peak = magnitude
+        history[rounds] = peak
+        if has_coupling:
+            pushed = pushed @ coupling
+        total = 0
+        for i in range(fsize):
+            u = frontier[i]
+            total += indptr[u + 1] - indptr[u]
+        rounds += 1
+        if total == 0:
+            frontier = frontier[:0]
+            continue
+        # Pre-scale the push by the source colscale — both branches below
+        # consume ``pushed[i, c] * colscale[u]``, and the reference path
+        # forms the identical product before its matmats.
+        for i in range(fsize):
+            cu = colscale[frontier[i]]
+            for c in range(k):
+                pushed[i, c] = pushed[i, c] * cu
+        if 4 * total > nnz:
+            # Wide frontier: one row-major sweep over the scatter image —
+            # same branch condition and accumulation order as the
+            # reference path's ``matrix @ scatter`` dense round.
+            scatter = np.zeros((n, k), dtype=np.float64)
+            for i in range(fsize):
+                u = frontier[i]
+                for c in range(k):
+                    scatter[u, c] = pushed[i, c]
+            touched_nnz += nnz
+            survivors = np.empty(n, dtype=np.int64)
+            kept = 0
+            for v in range(n):
+                peak = 0.0
+                for c in range(k):
+                    acc = 0.0
+                    for p in range(indptr[v], indptr[v + 1]):
+                        acc += data[p] * scatter[indices[p], c]
+                    residual[v, c] += acc * rowscale[v]
+                    magnitude = abs(residual[v, c])
+                    if magnitude > peak:
+                        peak = magnitude
+                if peak > epsilon:
+                    survivors[kept] = v
+                    kept += 1
+            frontier = survivors[:kept]
+            continue
+        # Narrow frontier: accumulate the scatter in a scratch buffer,
+        # source-major in CSR position order, with the rowscale applied
+        # once per target at the end — the exact association and order of
+        # the reference path's ``W[frontier].T @ (pushed * colscale)``.
+        touched = np.empty(total, dtype=np.int64)
+        n_touched = 0
+        for i in range(fsize):
+            u = frontier[i]
+            for p in range(indptr[u], indptr[u + 1]):
+                v = indices[p]
+                w = data[p]
+                for c in range(k):
+                    scratch[v, c] += w * pushed[i, c]
+                if marked[v] == 0:
+                    marked[v] = 1
+                    touched[n_touched] = v
+                    n_touched += 1
+        touched_nnz += total
+        survivors = touched[:n_touched]
+        survivors.sort()
+        kept = 0
+        for i in range(n_touched):
+            v = survivors[i]
+            marked[v] = 0
+            peak = 0.0
+            for c in range(k):
+                residual[v, c] += rowscale[v] * scratch[v, c]
+                scratch[v, c] = 0.0
+                magnitude = abs(residual[v, c])
+                if magnitude > peak:
+                    peak = magnitude
+            if peak > epsilon:
+                survivors[kept] = v
+                kept += 1
+        frontier = survivors[:kept]
+    return rounds, frontier.shape[0] == 0, touched_nnz, max_frontier
+
+
+def push_rounds(indptr, indices, data, rowscale, colscale, coupling,
+                beliefs, residual, frontier, epsilon, max_rounds, history):
+    """Epsilon-gated residual-push rounds — see the reference module."""
+    has_coupling = coupling is not None
+    rounds, converged, touched_nnz, max_frontier = _push_rounds(
+        indptr, indices, data, rowscale, colscale,
+        coupling if has_coupling else _EMPTY_COUPLING, has_coupling,
+        beliefs, residual, frontier.astype(np.int64),
+        float(epsilon), int(max_rounds), history,
+    )
+    return int(rounds), bool(converged), int(touched_nnz), int(max_frontier)
+
+
+@njit(cache=True)
+def _fused_sweep(indptr, indices, data, rowscale, colscale, coupling,
+                 has_coupling, offset, current, out):
+    n = indptr.shape[0] - 1
+    k = current.shape[1]
+    propagated = np.empty((n, k), dtype=current.dtype)
+    for u in range(n):
+        for c in range(k):
+            propagated[u, c] = 0.0
+        for p in range(indptr[u], indptr[u + 1]):
+            v = indices[p]
+            w = data[p]
+            # data * (current * colscale), matching the reference rounding.
+            for c in range(k):
+                propagated[u, c] += w * (current[v, c] * colscale[v])
+        for c in range(k):
+            propagated[u, c] *= rowscale[u]
+    if has_coupling:
+        propagated = propagated @ coupling
+    for u in range(n):
+        for c in range(k):
+            out[u, c] = propagated[u, c] + offset[u, c]
+    return out
+
+
+def fused_sweep(indptr, indices, data, rowscale, colscale, coupling,
+                offset, current, out):
+    """One dense sweep ``out = B + A X C`` — see the reference module."""
+    has_coupling = coupling is not None
+    empty = np.zeros((0, 0), dtype=current.dtype)
+    return _fused_sweep(
+        indptr, indices, data, rowscale, colscale,
+        coupling if has_coupling else empty, has_coupling,
+        offset, current, out,
+    )

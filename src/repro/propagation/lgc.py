@@ -16,11 +16,13 @@ import numpy as np
 
 from repro.graph.graph import one_hot_labels
 from repro.graph.operators import GraphOperators
+from repro.propagation import kernels
 from repro.propagation.engine import (
     Propagator,
     fixed_point_iterate,
     register_propagator,
 )
+from repro.propagation.push import LinearFixedPoint
 from repro.utils.validation import check_probability
 
 __all__ = ["LGCPropagator", "local_global_consistency"]
@@ -41,6 +43,7 @@ class LGCPropagator(Propagator):
     name = "lgc"
     needs_compatibility = False
     supports_warm_start = True
+    supports_localized = True
 
     def __init__(
         self,
@@ -52,6 +55,21 @@ class LGCPropagator(Propagator):
         super().__init__(max_iterations=max_iterations, tolerance=tolerance, dtype=dtype)
         check_probability(alpha, "alpha")
         self.alpha = float(alpha)
+
+    def linear_system(
+        self, operators, prior_beliefs, seed_labels, n_classes, compatibility
+    ):
+        if seed_labels is None:
+            raise ValueError("LGC needs seed_labels for its fidelity term")
+        clamped = self._dense(one_hot_labels(seed_labels, n_classes))
+        inv_sqrt = np.sqrt(operators.inverse_degrees)
+        return LinearFixedPoint(
+            adjacency=operators.cast_adjacency(np.float64),
+            rowscale=self.alpha * inv_sqrt,
+            colscale=inv_sqrt,
+            coupling=None,
+            offset=(1.0 - self.alpha) * clamped,
+        )
 
     def _run(
         self,
@@ -65,15 +83,24 @@ class LGCPropagator(Propagator):
         if seed_labels is None:
             raise ValueError("LGC needs seed_labels for its fidelity term")
         clamped = self._dense(one_hot_labels(seed_labels, n_classes), dtype=self.dtype)
-        smooth = operators.symmetric_normalized
         alpha = self.alpha
         fidelity = (1.0 - alpha) * clamped
 
-        def step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
-            smoothed = np.asarray(smooth @ current)
-            np.multiply(smoothed, alpha, out=smoothed)
-            smoothed += fidelity
-            return smoothed
+        if kernels.use_fused_dense():
+            inv_sqrt = np.sqrt(operators.inverse_degrees).astype(self.dtype)
+            step = kernels.make_fused_step(
+                operators.cast_adjacency(self.dtype),
+                (alpha * inv_sqrt).astype(self.dtype), inv_sqrt,
+                None, fidelity,
+            )
+        else:
+            smooth = operators.symmetric_normalized
+
+            def step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
+                smoothed = np.asarray(smooth @ current)
+                np.multiply(smoothed, alpha, out=smoothed)
+                smoothed += fidelity
+                return smoothed
 
         initial = clamped
         if warm_start is not None:

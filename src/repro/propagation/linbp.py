@@ -30,11 +30,13 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.graph.operators import GraphOperators
+from repro.propagation import kernels
 from repro.propagation.engine import (
     Propagator,
     fixed_point_iterate,
     register_propagator,
 )
+from repro.propagation.push import LinearFixedPoint
 from repro.utils.matrix import center_columns, center_matrix
 from repro.utils.validation import check_positive
 
@@ -106,6 +108,7 @@ class LinBPPropagator(Propagator):
     name = "linbp"
     needs_compatibility = True
     supports_warm_start = True
+    supports_localized = True
 
     def __init__(
         self,
@@ -129,6 +132,91 @@ class LinBPPropagator(Propagator):
         # the streaming session need not track the spectral radius at all.
         self.uses_spectral_scaling = scaling is None
 
+    def _system_terms(
+        self, operators: GraphOperators, prior_beliefs, compatibility
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Shared prep: (possibly centered) priors, modulation and epsilon."""
+        explicit = self._dense(prior_beliefs)
+        if self.center:
+            priors = center_columns(explicit)
+            modulation = center_matrix(compatibility)
+        else:
+            priors = explicit
+            modulation = np.asarray(compatibility, dtype=np.float64)
+
+        scaling = self.scaling
+        if scaling is None:
+            centered = modulation if self.center else center_matrix(compatibility)
+            scaling = operators.linbp_scaling(centered, safety=self.safety)
+        return priors, modulation, float(scaling)
+
+    def linear_system(
+        self, operators, prior_beliefs, seed_labels, n_classes, compatibility
+    ):
+        priors, modulation, scaling = self._system_terms(
+            operators, prior_beliefs, compatibility
+        )
+        ones = np.ones(operators.n_nodes)
+        return LinearFixedPoint(
+            adjacency=operators.cast_adjacency(np.float64),
+            rowscale=ones,
+            colscale=ones,
+            coupling=np.asarray(scaling * modulation, dtype=np.float64),
+            offset=np.asarray(priors, dtype=np.float64),
+            details={"scaling": scaling},
+        )
+
+    # Ceiling on epsilon-drift correction terms.  The series contracts by
+    # ~rho(scaling * W x modulation) ~ safety per term, so sub-tolerance
+    # truncation needs tens of terms at most; hitting the cap means the
+    # operator is barely contracting and only dense seeding is safe.
+    MAX_DRIFT_CORRECTION_TERMS = 80
+
+    def _localized_prepare(self, warm, spec):
+        initial = np.array(warm.beliefs, dtype=np.float64, copy=True)
+        previous_scaling = warm.details.get("scaling")
+        scaling = spec.details.get("scaling")
+        hint_ok = True
+        if previous_scaling and scaling:
+            drift = float(scaling) / float(previous_scaling) - 1.0
+            if drift != 0.0:
+                # The refreshed convergence epsilon rescales the coupling on
+                # *every* row, so the fixed point moves globally by
+                # ``delta = (I - W . C)^-1 drift (F - B)`` — expand that
+                # inverse as its Neumann series and absorb terms until the
+                # truncation drops below the push threshold.  The leftover
+                # residual on rows the delta didn't touch equals exactly the
+                # first omitted term, so a converged series keeps local
+                # hints valid at any drift magnitude; each term is one
+                # O(nnz k) matvec with no frontier bookkeeping, far cheaper
+                # than letting the push frontier saturate.
+                cutoff = 0.25 * self.tolerance
+                term = drift * (initial - spec.offset)
+                initial += term
+                terms = 0
+                peak = float(np.abs(term).max())
+                adjacency = spec.adjacency
+                coupling = spec.coupling
+                # Once the terms are small their absolute float32 rounding
+                # (~6e-8 relative per term) is orders of magnitude under the
+                # cutoff, so the long geometric tail runs at half the memory
+                # traffic; the switch threshold keeps the accumulated single
+                # precision error below ~1e-3 of the truncation cutoff.
+                single_threshold = max(1e3 * cutoff, 1e-5)
+                single = False
+                while peak > cutoff and terms < self.MAX_DRIFT_CORRECTION_TERMS:
+                    if not single and peak < single_threshold:
+                        adjacency = adjacency.astype(np.float32)
+                        coupling = coupling.astype(np.float32)
+                        term = term.astype(np.float32)
+                        single = True
+                    term = np.asarray(adjacency @ term) @ coupling
+                    initial += term
+                    terms += 1
+                    peak = float(np.abs(term).max())
+                hint_ok = peak <= cutoff
+        return initial, hint_ok
+
     def _run(
         self,
         operators: GraphOperators,
@@ -138,18 +226,9 @@ class LinBPPropagator(Propagator):
         compatibility: np.ndarray,
         warm_start=None,
     ) -> tuple[np.ndarray, int, bool, list[float], dict]:
-        explicit = self._dense(prior_beliefs)
-        if self.center:
-            priors = center_columns(explicit)
-            modulation = center_matrix(compatibility)
-        else:
-            priors = explicit
-            modulation = compatibility
-
-        scaling = self.scaling
-        if scaling is None:
-            centered = modulation if self.center else center_matrix(compatibility)
-            scaling = operators.linbp_scaling(centered, safety=self.safety)
+        priors, modulation, scaling = self._system_terms(
+            operators, prior_beliefs, compatibility
+        )
         modulation = np.asarray(scaling * modulation, dtype=self.dtype)
         priors = np.asarray(priors, dtype=self.dtype)
         adjacency = operators.cast_adjacency(self.dtype)
@@ -157,15 +236,22 @@ class LinBPPropagator(Propagator):
         degrees = operators.degrees.astype(self.dtype) if echo else None
         echo_modulation = modulation @ modulation if echo else None
 
-        def step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
-            propagated = np.asarray(adjacency @ current)
-            np.matmul(propagated, modulation, out=out)
-            if echo:
-                # Echo cancellation subtracts each node's own (modulated)
-                # echo: F <- X + W F H - D F H^2 (linearized correction term).
-                out -= degrees[:, None] * (current @ echo_modulation)
-            out += priors
-            return out
+        if not echo and kernels.use_fused_dense():
+            ones = np.ones(operators.n_nodes, dtype=self.dtype)
+            step = kernels.make_fused_step(
+                adjacency, ones, ones, modulation, priors
+            )
+        else:
+            def step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
+                propagated = np.asarray(adjacency @ current)
+                np.matmul(propagated, modulation, out=out)
+                if echo:
+                    # Echo cancellation subtracts each node's own (modulated)
+                    # echo: F <- X + W F H - D F H^2 (linearized correction
+                    # term).
+                    out -= degrees[:, None] * (current @ echo_modulation)
+                out += priors
+                return out
 
         initial = priors
         if warm_start is not None:
@@ -214,11 +300,19 @@ class LinBPPropagator(Propagator):
                 modulation32 = modulation.astype(np.float32)
                 priors32 = priors.astype(np.float32)
 
-                def coarse_step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
-                    propagated = np.asarray(adjacency32 @ current)
-                    np.matmul(propagated, modulation32, out=out)
-                    out += priors32
-                    return out
+                if kernels.use_fused_dense():
+                    ones32 = np.ones(operators.n_nodes, dtype=np.float32)
+                    coarse_step = kernels.make_fused_step(
+                        adjacency32, ones32, ones32, modulation32, priors32
+                    )
+                else:
+                    def coarse_step(
+                        current: np.ndarray, out: np.ndarray
+                    ) -> np.ndarray:
+                        propagated = np.asarray(adjacency32 @ current)
+                        np.matmul(propagated, modulation32, out=out)
+                        out += priors32
+                        return out
 
                 coarse, fast_iterations, _, fast_residuals = fixed_point_iterate(
                     coarse_step,
@@ -245,9 +339,15 @@ class LinBPPropagator(Propagator):
 
 @register_propagator()
 class EchoLinBPPropagator(LinBPPropagator):
-    """Original LinBP of Gatterbauer et al. (2015) with echo cancellation."""
+    """Original LinBP of Gatterbauer et al. (2015) with echo cancellation.
+
+    The echo term ``- D F H^2`` is outside the ``F = B + A F C`` family, so
+    the localized push mode stays off and ``localized=`` requests fall back
+    to the dense sweep (exact parity).
+    """
 
     name = "linbp_echo"
+    supports_localized = False
 
     def __init__(
         self,

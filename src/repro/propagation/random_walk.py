@@ -19,11 +19,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.operators import GraphOperators, operators_for
+from repro.propagation import kernels
 from repro.propagation.engine import (
     Propagator,
     fixed_point_iterate,
     register_propagator,
 )
+from repro.propagation.push import LinearFixedPoint
 from repro.utils.validation import check_positive, check_probability
 
 __all__ = ["MultiRankWalkPropagator", "random_walk_with_restart", "multi_rank_walk"]
@@ -79,6 +81,10 @@ class MultiRankWalkPropagator(Propagator):
     name = "mrw"
     needs_compatibility = False
     supports_warm_start = True
+    supports_localized = True
+    # Revealing one seed renormalizes its whole class's teleport column, so
+    # localized hints must cover every seed of the revealed classes.
+    localized_reveal_scope = "class"
 
     def __init__(
         self,
@@ -90,6 +96,35 @@ class MultiRankWalkPropagator(Propagator):
         super().__init__(max_iterations=max_iterations, tolerance=tolerance, dtype=dtype)
         check_probability(restart_probability, "restart_probability")
         self.restart_probability = float(restart_probability)
+
+    def _teleports(self, seed_labels, n_classes: int, dtype) -> np.ndarray:
+        n_nodes = seed_labels.shape[0]
+        teleports = np.zeros((n_nodes, n_classes), dtype=dtype)
+        for class_index in range(n_classes):
+            mask = seed_labels == class_index
+            mass = float(mask.sum())
+            if mass == 0:
+                continue
+            teleports[mask, class_index] = 1.0 / mass
+        return teleports
+
+    def linear_system(
+        self, operators, prior_beliefs, seed_labels, n_classes, compatibility
+    ):
+        if seed_labels is None:
+            raise ValueError("MultiRankWalk needs seed_labels for its teleports")
+        teleports = self._teleports(seed_labels, n_classes, np.float64)
+        # ``W_col = W diag(1/colsum)`` and the base CSR is symmetric, so the
+        # column sums are exactly the degrees: colscale = inverse_degrees.
+        return LinearFixedPoint(
+            adjacency=operators.cast_adjacency(np.float64),
+            rowscale=np.full(
+                operators.n_nodes, 1.0 - self.restart_probability, dtype=np.float64
+            ),
+            colscale=np.asarray(operators.inverse_degrees, dtype=np.float64),
+            coupling=None,
+            offset=self.restart_probability * teleports,
+        )
 
     def _run(
         self,
@@ -103,22 +138,25 @@ class MultiRankWalkPropagator(Propagator):
         if seed_labels is None:
             raise ValueError("MultiRankWalk needs seed_labels for its teleports")
         n_nodes = operators.n_nodes
-        teleports = np.zeros((n_nodes, n_classes), dtype=self.dtype)
-        for class_index in range(n_classes):
-            mask = seed_labels == class_index
-            mass = float(mask.sum())
-            if mass == 0:
-                continue
-            teleports[mask, class_index] = 1.0 / mass
-        walk_matrix = operators.column_normalized
+        teleports = self._teleports(seed_labels, n_classes, self.dtype)
         alpha = 1.0 - self.restart_probability
         restart_mass = self.restart_probability * teleports
 
-        def step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
-            walked = np.asarray(walk_matrix @ current)
-            np.multiply(walked, alpha, out=walked)
-            walked += restart_mass
-            return walked
+        if kernels.use_fused_dense():
+            step = kernels.make_fused_step(
+                operators.cast_adjacency(self.dtype),
+                np.full(n_nodes, alpha, dtype=self.dtype),
+                operators.inverse_degrees.astype(self.dtype),
+                None, restart_mass,
+            )
+        else:
+            walk_matrix = operators.column_normalized
+
+            def step(current: np.ndarray, out: np.ndarray) -> np.ndarray:
+                walked = np.asarray(walk_matrix @ current)
+                np.multiply(walked, alpha, out=walked)
+                walked += restart_mass
+                return walked
 
         initial = teleports
         if warm_start is not None:

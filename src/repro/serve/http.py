@@ -6,9 +6,12 @@ dependencies) exposing:
 * ``POST /graphs`` — load a graph: ``{"name": ..., "path": "g.npz"}`` or
   ``{"name": ..., "store": "runs/grid", "hash": "ab12…"}`` plus optional
   ``propagator`` / ``method`` / ``fraction`` / ``seed`` / ``iterations`` /
-  ``tolerance`` / ``replace``;
+  ``tolerance`` / ``localized`` / ``replace``;
 * ``DELETE /graphs/<name>`` — unload it;
 * ``GET /graphs/<name>`` — its info/staleness snapshot;
+* ``GET /graphs/<name>/stats`` — per-mode solve counts (full /
+  incremental / localized) plus cumulative touched-nonzeros and the active
+  kernel backend;
 * ``POST /graphs/<name>/delta`` — apply a delta (the JSONL event-record
   format of :meth:`repro.stream.delta.GraphDelta.from_dict`);
 * ``POST /graphs/<name>/query`` — ``{"nodes": [...], "top_k": 2}`` →
@@ -142,6 +145,9 @@ class ServeHandler(BaseHTTPRequestHandler):
             if len(parts) == 2 and parts[0] == "graphs":
                 self._send_json(service.info(parts[1]))
                 return True
+            if len(parts) == 3 and parts[0] == "graphs" and parts[2] == "stats":
+                self._send_json(service.graph_stats(parts[1]))
+                return True
             return False
         if method == "DELETE":
             if len(parts) == 2 and parts[0] == "graphs":
@@ -171,7 +177,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         allowed = {
             "name", "path", "store", "hash", "propagator", "propagator_kwargs",
             "method", "method_kwargs", "fraction", "seed", "iterations",
-            "tolerance", "replace",
+            "tolerance", "localized", "replace",
         }
         unknown = set(payload) - allowed
         if unknown:
@@ -196,6 +202,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             seed=seed,
             iterations=iterations,
             tolerance=tolerance,
+            localized=bool(payload.get("localized", False)),
             replace=bool(payload.get("replace", False)),
         )
         self._send_json({"loaded": info}, status=201)

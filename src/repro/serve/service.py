@@ -176,6 +176,7 @@ class _ServedGraph:
         self.n_deltas = 0
         self.n_solves = 0
         self.n_incremental = 0
+        self.n_localized = 0
         self.n_full = 0
 
     # Callers hold session.lock for everything below.
@@ -184,6 +185,8 @@ class _ServedGraph:
         self.n_solves += 1
         if mode == "incremental":
             self.n_incremental += 1
+        elif mode == "localized":
+            self.n_localized += 1
         else:
             self.n_full += 1
         self.last_solve_monotonic = time.monotonic()
@@ -212,7 +215,9 @@ class _ServedGraph:
             "n_deltas": self.n_deltas,
             "n_solves": self.n_solves,
             "n_incremental": self.n_incremental,
+            "n_localized": self.n_localized,
             "n_full": self.n_full,
+            "decisions": self.session.decision_stats(),
             "cache": (
                 {"disabled": True} if self.cache is None else self.cache.stats()
             ),
@@ -270,6 +275,7 @@ class InferenceService:
         seed: int = 0,
         iterations: int = 300,
         tolerance: float = 1e-8,
+        localized: bool = False,
         replace: bool = False,
     ) -> dict:
         """Load a graph under ``name`` and run its anchoring full solve.
@@ -281,7 +287,8 @@ class InferenceService:
         graph's ground-truth labels at ``fraction``; unless
         ``compatibility`` is given, the matrix is estimated with the
         registered ``method`` (only when the propagator needs one).
-        Returns the loaded graph's info dict.
+        ``localized=True`` opts the session into residual-push localized
+        solves for small deltas.  Returns the loaded graph's info dict.
         """
         if not name or "/" in name:
             raise ServeError(f"invalid graph name {name!r} (non-empty, no '/')")
@@ -342,6 +349,7 @@ class InferenceService:
             propagator_instance,
             compatibility=compatibility,
             seed_labels=seed_labels,
+            localized=bool(localized),
             strict=self.strict_deltas,
         )
         served = _ServedGraph(name, session, source, self.cache_entries)
@@ -393,6 +401,24 @@ class InferenceService:
         served = self._served(name)
         with served.session.lock:
             return served.info()
+
+    def graph_stats(self, name: str) -> dict:
+        """Solve-decision statistics for one served graph.
+
+        Reports the per-mode solve counts (full / incremental / localized),
+        the cumulative stored-nonzeros the solves visited, and the active
+        kernel backend — the observability slice of the localized subsystem.
+        """
+        served = self._served(name)
+        with served.session.lock:
+            return {
+                "graph": name,
+                "n_solves": served.n_solves,
+                "n_incremental": served.n_incremental,
+                "n_localized": served.n_localized,
+                "n_full": served.n_full,
+                **served.session.decision_stats(),
+            }
 
     # -------------------------------------------------------------- queries
     @staticmethod

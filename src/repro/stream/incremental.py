@@ -18,6 +18,15 @@ scratch.  The fallback triggers are:
   drifted radius means the cached scaling regime no longer describes the
   graph.
 
+On top of warm-vs-full sits an opt-in third mode, **localized**: when the
+wrapped algorithm advertises ``supports_localized`` and the delta is tiny
+(at most ``localized_edge_fraction`` of the edges), the warm resume runs
+through the residual-push solver (:mod:`repro.propagation.push`) instead of
+dense sweeps, iterating only the delta-affected frontier.  Localized solves
+hit the same unique fixed point to the same tolerance — the mode is purely
+a work-complexity choice, which is why it slots in *after* every
+correctness-motivated fallback above.
+
 Because every built-in iterative propagator contracts to a *unique* fixed
 point, a warm solve converges to the same beliefs as a cold one (to the
 configured tolerance); the policy above is purely about speed and about
@@ -30,11 +39,13 @@ import math
 from dataclasses import dataclass
 
 from repro.propagation.engine import PropagationResult, Propagator
+from repro.propagation.push import LocalizedHint
 
 __all__ = ["IncrementalDecision", "IncrementalPropagator", "delta_edge_fraction"]
 
 FULL_SOLVE_EDGE_FRACTION = 0.05
 RADIUS_DRIFT_TOLERANCE = 0.02
+LOCALIZED_EDGE_FRACTION = 0.01
 
 
 def delta_edge_fraction(edges_changed: int, n_edges: int) -> float:
@@ -55,11 +66,12 @@ def delta_edge_fraction(edges_changed: int, n_edges: int) -> float:
 
 @dataclass
 class IncrementalDecision:
-    """Why one propagation ran warm or cold.
+    """Why one propagation ran warm, localized, or cold.
 
-    ``mode`` is ``"incremental"`` or ``"full"``; ``reason`` is a short
-    machine-readable tag (``"warm"``, ``"first"``, ``"unsupported"``,
-    ``"delta"``, ``"drift"``, ``"forced"``).
+    ``mode`` is ``"incremental"``, ``"localized"`` or ``"full"``;
+    ``reason`` is a short machine-readable tag (``"warm"``,
+    ``"localized"``, ``"first"``, ``"unsupported"``, ``"delta"``,
+    ``"drift"``, ``"forced"``).
     """
 
     mode: str
@@ -84,6 +96,15 @@ class IncrementalPropagator:
         this far (relative) from the last full solve's radius.  Only
         consulted when the caller supplies a drift value (i.e. the wrapped
         algorithm actually uses spectral scaling).
+    localized:
+        Opt in to the residual-push localized mode.  Off by default: the
+        mode is numerically equivalent but changes the work profile, so
+        callers enable it explicitly (``repro stream --localized``, the
+        serve ``localized`` load flag, or benchmark configs).
+    localized_edge_fraction:
+        Ceiling on the delta fraction eligible for a localized solve; above
+        it the frontier is unlikely to stay small, so a plain warm resume's
+        dense sweeps win.
     """
 
     def __init__(
@@ -91,6 +112,8 @@ class IncrementalPropagator:
         propagator: Propagator,
         full_solve_edge_fraction: float = FULL_SOLVE_EDGE_FRACTION,
         radius_drift_tolerance: float = RADIUS_DRIFT_TOLERANCE,
+        localized: bool = False,
+        localized_edge_fraction: float = LOCALIZED_EDGE_FRACTION,
     ) -> None:
         if not isinstance(propagator, Propagator):
             raise TypeError(
@@ -100,9 +123,13 @@ class IncrementalPropagator:
             raise ValueError("full_solve_edge_fraction must be positive")
         if radius_drift_tolerance <= 0:
             raise ValueError("radius_drift_tolerance must be positive")
+        if localized_edge_fraction <= 0:
+            raise ValueError("localized_edge_fraction must be positive")
         self.propagator = propagator
         self.full_solve_edge_fraction = float(full_solve_edge_fraction)
         self.radius_drift_tolerance = float(radius_drift_tolerance)
+        self.localized = bool(localized)
+        self.localized_edge_fraction = float(localized_edge_fraction)
 
     def decide(
         self,
@@ -126,9 +153,15 @@ class IncrementalPropagator:
             reason = "delta"
         elif radius_drift is not None and radius_drift > self.radius_drift_tolerance:
             reason = "drift"
+        elif (
+            self.localized
+            and getattr(self.propagator, "supports_localized", False)
+            and delta_fraction <= self.localized_edge_fraction
+        ):
+            reason = "localized"
         else:
             reason = "warm"
-        mode = "incremental" if reason == "warm" else "full"
+        mode = {"warm": "incremental", "localized": "localized"}.get(reason, "full")
         return IncrementalDecision(
             mode=mode,
             reason=reason,
@@ -147,21 +180,28 @@ class IncrementalPropagator:
         radius_drift: float | None = None,
         force_full: bool = False,
         n_classes: int | None = None,
+        localized_hint: LocalizedHint | None = None,
     ) -> tuple[PropagationResult, IncrementalDecision]:
-        """Run warm or cold according to the policy; return both outcomes.
+        """Run warm, localized, or cold according to the policy.
 
         ``graph`` may be a :class:`~repro.graph.graph.Graph`, a raw
         adjacency or a primed
         :class:`~repro.graph.operators.GraphOperators` instance — exactly
-        what the wrapped propagator accepts.
+        what the wrapped propagator accepts.  ``localized_hint`` narrows a
+        localized solve's residual seeding to the delta-affected rows; it
+        is only consulted when the decision lands on ``"localized"``.
         """
         decision = self.decide(previous, delta_fraction, radius_drift, force_full)
-        warm_start = previous if decision.mode == "incremental" else None
+        warm_start = previous if decision.mode in ("incremental", "localized") else None
+        localized = None
+        if decision.mode == "localized":
+            localized = localized_hint if localized_hint is not None else True
         result = self.propagator.propagate(
             graph,
             seed_labels,
             compatibility=compatibility if self.propagator.needs_compatibility else None,
             n_classes=n_classes,
             warm_start=warm_start,
+            localized=localized,
         )
         return result, decision

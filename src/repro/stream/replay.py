@@ -105,6 +105,7 @@ class ReplayStepRecord:
     n_nodes: int
     n_edges: int
     n_seeds: int
+    touched_nnz: int = 0
     accuracy: float | None = None
     full_seconds: float | None = None
     deviation: float | None = None
@@ -124,6 +125,7 @@ class ReplayStepRecord:
             "n_nodes": self.n_nodes,
             "n_edges": self.n_edges,
             "n_seeds": self.n_seeds,
+            "touched_nnz": self.touched_nnz,
             "accuracy": self.accuracy,
             "full_seconds": self.full_seconds,
             "deviation": self.deviation,
@@ -141,8 +143,16 @@ class ReplayReport:
         return sum(1 for record in self.steps if record.mode == "incremental")
 
     @property
+    def n_localized(self) -> int:
+        return sum(1 for record in self.steps if record.mode == "localized")
+
+    @property
     def n_full(self) -> int:
         return sum(1 for record in self.steps if record.mode == "full")
+
+    @property
+    def total_touched_nnz(self) -> int:
+        return sum(record.touched_nnz for record in self.steps)
 
     @property
     def final_accuracy(self) -> float | None:
@@ -167,15 +177,17 @@ class ReplayReport:
 
     @property
     def verified_speedup(self) -> float | None:
-        """Mean full-re-solve time over mean incremental step time.
+        """Mean full-re-solve time over mean warm (incremental or
+        localized) step time.
 
-        Only uses verified *incremental* steps so the two sides describe the
-        same deltas; None when verification never ran on a warm step.
+        Only uses verified warm steps so the two sides describe the same
+        deltas; None when verification never ran on a warm step.
         """
         pairs = [
             (record.full_seconds, record.total_seconds)
             for record in self.steps
-            if record.full_seconds is not None and record.mode == "incremental"
+            if record.full_seconds is not None
+            and record.mode in ("incremental", "localized")
         ]
         if not pairs:
             return None
@@ -187,11 +199,14 @@ class ReplayReport:
         return {
             "n_steps": len(self.steps),
             "n_incremental": self.n_incremental,
+            "n_localized": self.n_localized,
             "n_full": self.n_full,
             "final_accuracy": self.final_accuracy,
             "max_deviation": self.max_deviation,
             "mean_step_seconds": self.mean_seconds(),
             "mean_incremental_seconds": self.mean_seconds("incremental"),
+            "mean_localized_seconds": self.mean_seconds("localized"),
+            "total_touched_nnz": self.total_touched_nnz,
             "verified_speedup": self.verified_speedup,
             "steps": [record.to_dict() for record in self.steps],
         }
@@ -297,6 +312,7 @@ def replay_events(
             n_nodes=step.n_nodes,
             n_edges=step.n_edges,
             n_seeds=int(np.sum(session.seed_labels >= 0)),
+            touched_nnz=step.touched_nnz,
             accuracy=accuracy,
         )
         if verify_every and step.index % verify_every == 0:

@@ -24,6 +24,7 @@ timed :class:`StreamStep`.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -31,11 +32,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.propagation.convergence import SpectralState, lanczos_spectral_state
+from repro.propagation import kernels
+from repro.propagation.convergence import (
+    SpectralState,
+    lanczos_spectral_state,
+    radius_ladder_gap,
+)
 from repro.propagation.engine import PropagationResult, Propagator
+from repro.propagation.push import LocalizedHint
 from repro.stream.delta import GraphDelta, apply_delta
 from repro.stream.incremental import (
     FULL_SOLVE_EDGE_FRACTION,
+    LOCALIZED_EDGE_FRACTION,
     RADIUS_DRIFT_TOLERANCE,
     IncrementalDecision,
     IncrementalPropagator,
@@ -51,6 +59,17 @@ ANCHOR_LANCZOS_STEPS = 200
 ANCHOR_LANCZOS_TOLERANCE = 1e-11
 WARM_LANCZOS_STEPS = 60
 WARM_LANCZOS_TOLERANCE = 2e-8
+# Spectral refresh ahead of a *localized* solve: the scaling only consumes
+# the radius through the coarse ladder (repro.propagation.convergence), so
+# a handful of warm steps at a loose Ritz tolerance almost always resolves
+# the rung.  The refresh is re-run at full warm quality only when the
+# coarse estimate sits within LADDER_REFINE_GUARD (relative) of a rung
+# boundary — or when its certified residual bound says the estimate itself
+# cannot be trusted to that guard — so the expensive tight restart is paid
+# on the rare boundary-straddling step, not on every delta.
+LOCALIZED_LANCZOS_STEPS = 20
+LOCALIZED_LANCZOS_TOLERANCE = 1e-5
+LADDER_REFINE_GUARD = 2.5e-4
 
 
 @dataclass
@@ -72,10 +91,13 @@ class StreamStep:
     propagate_seconds: float
     n_nodes: int
     n_edges: int
+    # Stored nonzeros the solve actually visited: the localized solver's
+    # exact count, or ``iterations * nnz`` for dense sweeps.
+    touched_nnz: int = 0
 
     @property
     def mode(self) -> str:
-        """``"incremental"`` or ``"full"`` (from the fallback decision)."""
+        """``"incremental"``, ``"localized"`` or ``"full"``."""
         return self.decision.mode
 
     @property
@@ -86,24 +108,41 @@ class StreamStep:
 
 @dataclass
 class _PendingDelta:
-    """Delta effects applied to the graph but not yet propagated."""
+    """Delta effects applied to the graph but not yet propagated.
+
+    Besides the summary counts, it accumulates the *identities* the
+    localized solver needs: structurally touched nodes, revealed nodes, and
+    the classes revealed (teleport-normalizing walks must reseed every seed
+    of a revealed class, not just the new one).
+    """
 
     edges_changed: int = 0
     nodes_added: int = 0
     labels_revealed: int = 0
     deltas: int = 0
+    touched: list = field(default_factory=list)
+    revealed: list = field(default_factory=list)
+    revealed_classes: set = field(default_factory=set)
 
-    def absorb(self, delta: GraphDelta) -> None:
+    def absorb(self, delta: GraphDelta, touched_nodes: np.ndarray) -> None:
         self.edges_changed += delta.n_changed_edges
         self.nodes_added += delta.add_nodes
         self.labels_revealed += int(delta.reveal_nodes.shape[0])
         self.deltas += 1
+        if touched_nodes.shape[0]:
+            self.touched.append(np.asarray(touched_nodes, dtype=np.int64))
+        if delta.reveal_nodes.shape[0]:
+            self.revealed.append(np.asarray(delta.reveal_nodes, dtype=np.int64))
+            self.revealed_classes.update(int(c) for c in delta.reveal_labels)
 
     def clear(self) -> None:
         self.edges_changed = 0
         self.nodes_added = 0
         self.labels_revealed = 0
         self.deltas = 0
+        self.touched = []
+        self.revealed = []
+        self.revealed_classes = set()
 
 
 class StreamingSession:
@@ -130,6 +169,10 @@ class StreamingSession:
     full_solve_edge_fraction / radius_drift_tolerance:
         Fallback policy thresholds (see
         :class:`~repro.stream.incremental.IncrementalPropagator`).
+    localized / localized_edge_fraction:
+        Opt in to residual-push localized solves for small deltas (see
+        :class:`~repro.stream.incremental.IncrementalPropagator`); off by
+        default.
     strict:
         Delta application strictness (see :func:`repro.stream.delta.apply_delta`).
     spectral_seed:
@@ -144,6 +187,8 @@ class StreamingSession:
         seed_labels: np.ndarray | None = None,
         full_solve_edge_fraction: float = FULL_SOLVE_EDGE_FRACTION,
         radius_drift_tolerance: float = RADIUS_DRIFT_TOLERANCE,
+        localized: bool = False,
+        localized_edge_fraction: float = LOCALIZED_EDGE_FRACTION,
         strict: bool = True,
         spectral_seed=0,
     ) -> None:
@@ -154,6 +199,8 @@ class StreamingSession:
             propagator,
             full_solve_edge_fraction=full_solve_edge_fraction,
             radius_drift_tolerance=radius_drift_tolerance,
+            localized=localized,
+            localized_edge_fraction=localized_edge_fraction,
         )
         self.compatibility = (
             None if compatibility is None else np.asarray(compatibility, dtype=np.float64)
@@ -187,6 +234,8 @@ class StreamingSession:
         self._spectral: SpectralState | None = None
         self._anchor_radius: float | None = None
         self._edges_since_anchor = 0
+        self.mode_counts = {"full": 0, "incremental": 0, "localized": 0}
+        self.touched_nnz_total = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -269,13 +318,23 @@ class StreamingSession:
                     )
                 )
 
-        self._pending.absorb(delta)
+        self._pending.absorb(delta, application.touched_nodes)
         self._edges_since_anchor += delta.n_changed_edges
         return time.perf_counter() - start
 
     # -------------------------------------------------------------- propagate
-    def _refresh_spectral(self) -> tuple[float, float | None]:
-        """Advance the warm eigenpair estimate; returns (seconds, drift)."""
+    def _refresh_spectral(
+        self, budget_steps: int | None = None, coarse: bool = False
+    ) -> tuple[float, float | None]:
+        """Advance the warm eigenpair estimate; returns (seconds, drift).
+
+        ``budget_steps`` caps the warm restart's Lanczos steps and
+        ``coarse`` loosens its Ritz tolerance (the localized path passes
+        both); a coarse estimate is automatically refined at full warm
+        quality when it lands too close to a scaling-ladder rung boundary
+        for its certified error bound.  Anchor solves always run at full
+        quality.
+        """
         if not self._tracks_spectrum:
             return 0.0, None
         start = time.perf_counter()
@@ -299,9 +358,25 @@ class StreamingSession:
             state = lanczos_spectral_state(
                 self.graph.adjacency,
                 v0=vector,
-                max_steps=WARM_LANCZOS_STEPS,
-                tolerance=WARM_LANCZOS_TOLERANCE,
+                max_steps=budget_steps or WARM_LANCZOS_STEPS,
+                tolerance=(
+                    LOCALIZED_LANCZOS_TOLERANCE if coarse
+                    else WARM_LANCZOS_TOLERANCE
+                ),
             )
+            if coarse and state.radius > 0:
+                relative_error = state.residual_bound / state.radius
+                near_rung = (
+                    radius_ladder_gap(state.radius) < LADDER_REFINE_GUARD
+                    or relative_error > 0.25 * LADDER_REFINE_GUARD
+                )
+                if near_rung:
+                    state = lanczos_spectral_state(
+                        self.graph.adjacency,
+                        v0=state.vector,
+                        max_steps=WARM_LANCZOS_STEPS,
+                        tolerance=WARM_LANCZOS_TOLERANCE,
+                    )
         self._spectral = state
         self.graph.operators.prime_spectral_radius(state.radius)
         drift = None
@@ -319,13 +394,38 @@ class StreamingSession:
             return self._propagate(force_full)
 
     def _propagate(self, force_full: bool = False) -> StreamStep:
-        spectral_seconds, drift = self._refresh_spectral()
-
         n_edges = self.graph.n_edges
         delta_fraction = delta_edge_fraction(self._edges_since_anchor, n_edges)
         previous = self.last_result
         if previous is not None:
             previous = self._pad_previous(previous)
+
+        # A localized candidate step caps the warm Lanczos budget — the
+        # refresh would otherwise dominate the whole localized solve.  When
+        # the decision then lands anywhere *but* localized, pay for the
+        # full-quality refresh before solving: the cheaper estimate is only
+        # good enough because a tiny delta barely moves the spectrum.
+        want_localized = (
+            not force_full
+            and self.incremental.localized
+            and previous is not None
+            and getattr(self.propagator, "supports_localized", False)
+            and math.isfinite(delta_fraction)
+            and delta_fraction <= self.incremental.localized_edge_fraction
+        )
+        spectral_seconds, drift = self._refresh_spectral(
+            budget_steps=LOCALIZED_LANCZOS_STEPS if want_localized else None,
+            coarse=want_localized,
+        )
+        preview = self.incremental.decide(previous, delta_fraction, drift, force_full)
+        if want_localized and preview.mode != "localized":
+            extra_seconds, drift = self._refresh_spectral()
+            spectral_seconds += extra_seconds
+            preview = self.incremental.decide(previous, delta_fraction, drift, force_full)
+
+        localized_hint = None
+        if preview.mode == "localized":
+            localized_hint = self._localized_hint(previous)
 
         start = time.perf_counter()
         result, decision = self.incremental.propagate(
@@ -337,6 +437,7 @@ class StreamingSession:
             radius_drift=drift,
             force_full=force_full,
             n_classes=self.graph.n_classes,
+            localized_hint=localized_hint,
         )
         propagate_seconds = time.perf_counter() - start
 
@@ -346,6 +447,13 @@ class StreamingSession:
                 self._spectral.radius if self._spectral is not None else None
             )
             self._edges_since_anchor = 0
+
+        if result.details.get("localized"):
+            touched_nnz = int(result.details.get("touched_nnz", 0))
+        else:
+            touched_nnz = int(result.n_iterations) * int(self.graph.adjacency.nnz)
+        self.mode_counts[decision.mode] = self.mode_counts.get(decision.mode, 0) + 1
+        self.touched_nnz_total += touched_nnz
 
         step = StreamStep(
             index=self.n_steps,
@@ -362,6 +470,7 @@ class StreamingSession:
             propagate_seconds=propagate_seconds,
             n_nodes=self.graph.n_nodes,
             n_edges=n_edges,
+            touched_nnz=touched_nnz,
         )
         self.last_result = result
         self.n_steps += 1
@@ -381,6 +490,60 @@ class StreamingSession:
             return outcome
 
     # ---------------------------------------------------------------- helpers
+    def _localized_hint(self, previous: PropagationResult) -> LocalizedHint | None:
+        """Rows the pending deltas may have disturbed, or None to dense-seed.
+
+        The hint is a *trust* statement — every row off it must provably
+        still satisfy the residual tolerance — so it is only built when the
+        previous solve converged.  It covers structurally touched nodes
+        plus their current neighbors (degree-dependent column scales reach
+        one hop), revealed nodes, and — for propagators with class-scoped
+        reveals (MultiRankWalk's teleport renormalization) — every seed of
+        a revealed class.
+        """
+        if previous is None or not previous.converged:
+            return None
+        adjacency = self.graph.adjacency
+        n_nodes = adjacency.shape[0]
+        parts: list[np.ndarray] = []
+        if self._pending.touched:
+            touched = np.unique(np.concatenate(self._pending.touched))
+            touched = touched[(touched >= 0) & (touched < n_nodes)]
+            parts.append(touched)
+            if touched.shape[0]:
+                indptr = adjacency.indptr
+                neighbors = np.concatenate(
+                    [adjacency.indices[indptr[t]: indptr[t + 1]] for t in touched]
+                )
+                parts.append(neighbors.astype(np.int64))
+        if self._pending.revealed:
+            parts.append(np.concatenate(self._pending.revealed))
+        if (
+            self._pending.revealed_classes
+            and getattr(self.propagator, "localized_reveal_scope", "node") == "class"
+        ):
+            classes = np.fromiter(
+                self._pending.revealed_classes, dtype=np.int64,
+                count=len(self._pending.revealed_classes),
+            )
+            parts.append(np.flatnonzero(np.isin(self.seed_labels, classes)))
+        if parts:
+            rows = np.unique(np.concatenate(parts))
+            rows = rows[(rows >= 0) & (rows < n_nodes)]
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        return LocalizedHint(rows=rows)
+
+    def decision_stats(self) -> dict:
+        """Cumulative per-mode solve counts and touched-nnz totals."""
+        with self.lock:
+            return {
+                "mode_counts": dict(self.mode_counts),
+                "touched_nnz_total": int(self.touched_nnz_total),
+                "kernel_backend": kernels.active_backend(),
+                "localized_enabled": self.incremental.localized,
+            }
+
     def _pad_previous(self, previous: PropagationResult) -> PropagationResult:
         """Zero-pad a previous result's beliefs for nodes added since."""
         n_nodes = self.graph.n_nodes
