@@ -34,6 +34,10 @@ A large tier (1M nodes / 2M edges by default) measuring localized vs the
 plain warm path runs when ``--large`` is passed or ``REPRO_BENCH_LARGE`` is
 set to a truthy value.
 
+The output also records an ``obs_overhead`` section comparing the median
+steady-state step time with ``repro.obs`` metrics recording enabled vs
+disabled (the instrumentation budget is 2%).
+
 Writes ``BENCH_stream.json`` next to the repository root (or to
 ``--output``), extending the performance trajectory of
 ``bench_propagation.py`` and ``bench_runner.py``.
@@ -221,6 +225,78 @@ def _env_flag(name: str) -> bool:
     return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 
+def bench_obs_overhead(graph, compatibility, seed_labels, args, rng) -> dict:
+    """Steady-state step time with observability on vs off.
+
+    Two identical streaming sessions absorb the same warmup delta, then
+    replay the same measured deltas — one with ``repro.obs`` recording
+    enabled (the default), one with it switched off.  Per-step times are
+    pooled across repeats and compared by median, which is the acceptance
+    number for the instrumentation: the enabled path must stay within a
+    few percent of the disabled one.  Tracing stays unconfigured either
+    way (as in production scrape-only deployments); the cost measured is
+    the counter/histogram write path on the session, engine, and push
+    hot loops.
+    """
+    from repro import obs
+
+    config = PROPAGATOR_CONFIGS["linbp"]
+    n_delta = max(1, int(0.005 * graph.n_edges))
+    n_steps = 10
+    per_step: dict[bool, list[float]] = {True: [], False: []}
+    for round_index in range(max(3, args.repeats)):
+        pool = fresh_random_edges(graph.adjacency, (n_steps + 1) * n_delta, rng)
+        chunks = [
+            pool[index * n_delta:(index + 1) * n_delta]
+            for index in range(n_steps + 1)
+        ]
+        # Alternate which flag runs first so slow machine drift (thermal,
+        # competing load) cancels instead of biasing one side.
+        order = (True, False) if round_index % 2 == 0 else (False, True)
+        for flag in order:
+            previous = obs.set_enabled(flag)
+            try:
+                with obs.use_registry():
+                    session = StreamingSession(
+                        graph.copy(),
+                        get_propagator("linbp", **config),
+                        compatibility=compatibility,
+                        seed_labels=seed_labels,
+                    )
+                    session.propagate()
+                    session.step(GraphDelta(add_edges=chunks[0]))  # warmup
+                    for chunk in chunks[1:]:
+                        start = time.perf_counter()
+                        session.step(GraphDelta(add_edges=chunk))
+                        per_step[flag].append(time.perf_counter() - start)
+            finally:
+                obs.set_enabled(previous)
+    # Step i of each round replays the *same* delta chunk on identically
+    # evolved sessions under both flags, so the honest estimator is the
+    # median of paired differences — unpaired medians mix chunks whose
+    # intrinsic step costs differ by more than the instrumentation does.
+    enabled = np.asarray(per_step[True])
+    disabled = np.asarray(per_step[False])
+    enabled_seconds = float(np.median(enabled))
+    disabled_seconds = float(np.median(disabled))
+    overhead = (
+        float(np.median(enabled - disabled)) / disabled_seconds
+        if disabled_seconds > 0 else 0.0
+    )
+    record = {
+        "enabled_seconds": enabled_seconds,
+        "disabled_seconds": disabled_seconds,
+        "overhead_fraction": overhead,
+        "within_2pct": overhead <= 0.02,
+        "n_steps_measured": len(per_step[True]),
+    }
+    print(f"obs overhead: enabled {enabled_seconds*1e3:.2f} ms/step, "
+          f"disabled {disabled_seconds*1e3:.2f} ms/step "
+          f"-> {overhead:+.2%} ({'within' if record['within_2pct'] else 'OVER'} "
+          f"the 2% budget)")
+    return record
+
+
 def bench_large(args, rng) -> dict:
     """Large tier: localized vs the plain warm path on a 1M/2M graph.
 
@@ -366,6 +442,9 @@ def main(argv=None) -> int:
         "kernel_backend": kernels.active_backend(),
         "n_repeats": args.repeats,
         "records": records,
+        "obs_overhead": bench_obs_overhead(
+            graph, gold, seed_labels, args, rng
+        ),
     }
     if args.large or _env_flag("REPRO_BENCH_LARGE"):
         results["large_tier"] = bench_large(args, rng)

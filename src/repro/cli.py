@@ -1,6 +1,6 @@
 """Command-line interface for the library.
 
-Twelve subcommands cover the end-to-end workflow without writing Python:
+Thirteen subcommands cover the end-to-end workflow without writing Python:
 
 * ``repro generate``   — create a synthetic graph with planted compatibilities
 * ``repro dataset``    — build one of the real-world dataset stand-ins
@@ -13,6 +13,7 @@ Twelve subcommands cover the end-to-end workflow without writing Python:
 * ``repro gc``         — compact a result store (drop superseded records)
 * ``repro stream``     — replay a JSONL delta stream with incremental propagation
 * ``repro serve``      — serve label-belief queries over HTTP (micro-batched)
+* ``repro stats``      — summarize a trace file written by ``--trace``
 * ``repro list``       — print the registered propagators and estimators
 
 Graphs are exchanged as ``.npz`` bundles (see :mod:`repro.graph.io`).
@@ -33,6 +34,8 @@ Examples
     repro stream graph.npz events.jsonl --verify-every 5 --json replay.json
     repro stream ab12ef --from-store runs/grid     # replay a stored run's graph
     repro serve graph.npz --port 8151              # online query service
+    repro serve graph.npz --trace trace.jsonl --log-json
+    repro stats trace.jsonl --slowest 3            # span report from a trace
 
 ``--propagator`` and ``--method`` values are validated against the
 ``PROPAGATORS``/``ESTIMATORS`` registries of :mod:`repro.propagation.engine`
@@ -247,6 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--no-score", action="store_true",
                         help="skip per-step accuracy scoring")
     stream.add_argument("--json", help="write the replay report to this JSON file")
+    stream.add_argument("--trace", default=None, metavar="FILE",
+                        help="append obs trace spans (JSONL) to this file; "
+                             "summarize with `repro stats FILE`")
     stream.add_argument("--quiet", action="store_true",
                         help="suppress per-step progress lines")
 
@@ -295,6 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--lenient", action="store_true",
                        help="tolerate duplicate edge adds / absent removals "
                             "in served deltas")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="append obs trace spans (JSONL) to this file; "
+                            "each response's X-Repro-Trace header names its "
+                            "request tree")
+    serve.add_argument("--log-json", action="store_true", dest="log_json",
+                       help="emit one JSON object per request to stderr "
+                            "(method, path, status, duration_ms, trace)")
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize a trace file written by --trace"
+    )
+    stats.add_argument("trace", help="JSONL trace file (from `repro stream "
+                                     "--trace` or `repro serve --trace`)")
+    stats.add_argument("--slowest", type=int, default=1, metavar="N",
+                       help="render the N slowest root traces as trees "
+                            "(default 1; 0 disables)")
+    stats.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the per-span summary as JSON instead of "
+                            "a table")
 
     subparsers.add_parser(
         "list", help="print the registered propagators and estimators"
@@ -375,6 +400,19 @@ def _parse_shard(value: str | None) -> tuple[int, int] | None:
             f"--shard index must satisfy 0 <= I < N, got {value!r}"
         )
     return index, n_shards
+
+
+def _configure_trace(path: str | None) -> None:
+    """Route obs spans for the rest of the process to a JSONL file."""
+    if not path:
+        return
+    from repro import obs
+
+    try:
+        obs.configure_tracing(obs.JsonlTraceSink(path))
+    except OSError as exc:
+        raise CLIError(f"could not open trace file {path}: {exc}") from exc
+    print(f"tracing spans to {path}")
 
 
 # ------------------------------------------------------------------- commands
@@ -552,6 +590,7 @@ def _command_stream(args: argparse.Namespace) -> int:
     from repro.stream import read_delta_stream, replay_events, synthesize_delta_stream
 
     _check_propagator(args.propagator)
+    _configure_trace(args.trace)
     if args.from_store:
         # GRAPH is a record hash: rebuild the graph that run executed on,
         # through the same loader the serving layer uses.
@@ -669,6 +708,7 @@ def _command_stream(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve import InferenceService, MicroBatcher, ServeError, make_server
 
+    _configure_trace(args.trace)
     service = InferenceService(
         cache_entries=args.cache_entries, strict_deltas=not args.lenient
     )
@@ -710,7 +750,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
     try:
         server = make_server(
-            service, host=args.host, port=args.port, batcher=batcher
+            service, host=args.host, port=args.port, batcher=batcher,
+            log_json=args.log_json,
         )
     except OSError as exc:
         if batcher is not None:
@@ -728,6 +769,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         print("shutting down")
     finally:
         server.close()
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_trace_report, summarize_spans
+
+    path = Path(args.trace)
+    if not path.exists():
+        raise CLIError(f"trace file not found: {path}")
+    records = read_trace(path)
+    if not records:
+        raise CLIError(f"trace file {path} contains no spans")
+    if args.as_json:
+        print(json.dumps(summarize_spans(records), indent=2))
+    else:
+        print(render_trace_report(records, slowest=args.slowest), end="")
     return 0
 
 
@@ -762,6 +819,7 @@ COMMANDS = {
     "gc": _command_gc,
     "stream": _command_stream,
     "serve": _command_serve,
+    "stats": _command_stats,
     "list": _command_list,
 }
 

@@ -14,13 +14,14 @@ nodes, which is what :mod:`repro.eval.seeding` produces.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.graph.graph import Graph, one_hot_labels
-from repro.utils.timer import Timer
 from repro.utils.validation import check_labels
 
 __all__ = ["EstimationResult", "BaseEstimator"]
@@ -80,15 +81,22 @@ class BaseEstimator(abc.ABC):
                 f"{self.method_name} needs at least one labeled seed node"
             )
         explicit = one_hot_labels(seed_labels, graph.n_classes)
-        timer = Timer()
-        with timer:
+        start = time.perf_counter()
+        with obs.span("estimator.fit", method=self.method_name):
             compatibility, energy, details = self._estimate(
                 graph, seed_labels, explicit
             )
+        elapsed = time.perf_counter() - start
+        if obs.enabled():
+            obs.metrics().histogram(
+                "repro_estimator_fit_seconds",
+                "Wall time of one compatibility-estimator fit.",
+                method=self.method_name,
+            ).observe(elapsed)
         return EstimationResult(
             compatibility=compatibility,
             method=self.method_name,
-            elapsed_seconds=timer.elapsed,
+            elapsed_seconds=elapsed,
             n_classes=graph.n_classes,
             energy=energy,
             details=details,

@@ -19,6 +19,7 @@ not once per experiment point.
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,7 +31,6 @@ from repro.eval.seeding import stratified_seed_indices
 from repro.graph.graph import Graph
 from repro.propagation.engine import PROPAGATORS, Propagator
 from repro.utils.rng import ensure_rng
-from repro.utils.timer import Timer
 
 __all__ = ["ExperimentResult", "run_experiment", "resolve_propagator"]
 
@@ -183,13 +183,13 @@ def run_experiment(
     engine = resolve_propagator(
         propagator, propagator_kwargs, n_propagation_iterations, safety
     )
-    propagation_timer = Timer()
-    with propagation_timer:
-        propagation = engine.propagate(
-            graph,
-            partial_labels,
-            compatibility=estimation.compatibility if engine.needs_compatibility else None,
-        )
+    propagation_start = time.perf_counter()
+    propagation = engine.propagate(
+        graph,
+        partial_labels,
+        compatibility=estimation.compatibility if engine.needs_compatibility else None,
+    )
+    propagation_seconds = time.perf_counter() - propagation_start
     predicted = propagation.labels
 
     if gold_standard is None:
@@ -205,7 +205,7 @@ def run_experiment(
         accuracy=score,
         l2_to_gold=distance,
         estimation_seconds=estimation.elapsed_seconds,
-        propagation_seconds=propagation_timer.elapsed,
+        propagation_seconds=propagation_seconds,
         compatibility=estimation.compatibility,
         n_seeds=int(seed_indices.shape[0]),
         details=estimation.details,

@@ -1,0 +1,35 @@
+"""Process-wide enable switch for the observability layer.
+
+Kept in its own tiny module so the hot-path instruments (counters,
+histograms, spans) can check one module-level boolean without importing
+the rest of the package.  ``REPRO_OBS=off`` (or ``0``/``false``/``no``)
+disables all recording at process start; :func:`set_enabled` toggles it
+at runtime, which the benchmarks use to measure instrumentation
+overhead inside a single process.
+
+Disabling freezes every instrument at its current value — reads stay
+cheap and well-defined, writes become no-ops.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "set_enabled"]
+
+_OFF_VALUES = {"off", "0", "false", "no"}
+
+_enabled = os.environ.get("REPRO_OBS", "on").strip().lower() not in _OFF_VALUES
+
+
+def enabled() -> bool:
+    """True when observability recording is active."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the process-wide enable flag; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous

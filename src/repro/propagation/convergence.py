@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.utils.matrix import to_csr
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
@@ -195,6 +196,7 @@ def lanczos_spectral_state(
     the input is assumed, not checked.
     """
     check_positive(max_steps, "max_steps")
+    warm_started = v0 is not None
     n = matrix.shape[0]
     if n == 0:
         return SpectralState(0.0, np.zeros(0), 0)
@@ -264,6 +266,17 @@ def lanczos_spectral_state(
     norm = np.linalg.norm(ritz_vector)
     if norm > 0:
         ritz_vector /= norm
+    if obs.enabled():
+        registry = obs.metrics()
+        warm = "warm" if warm_started else "cold"
+        registry.counter(
+            "repro_lanczos_runs_total", "Lanczos spectral-state computations.",
+            start=warm,
+        ).inc()
+        registry.histogram(
+            "repro_lanczos_steps", "Lanczos steps (matvecs) per run.",
+            buckets=obs.ITERATION_BUCKETS, start=warm,
+        ).observe(len(alphas))
     return SpectralState(radius, ritz_vector, len(alphas), residual_bound)
 
 

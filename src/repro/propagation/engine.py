@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.graph.graph import labels_from_one_hot, one_hot_labels
 from repro.graph.operators import GraphOperators, operators_for
 from repro.propagation.push import LinearFixedPoint, LocalizedHint, solve_localized
@@ -310,24 +311,32 @@ class Propagator(abc.ABC):
         warm = self._resolve_warm_start(warm_start, n_nodes, n_classes)
         wants_localized = localized is not None and localized is not False
 
-        start = time.perf_counter()
         if wants_localized and self.supports_localized and warm is not None:
-            outcome = self._run_localized(
-                operators, prior_beliefs, seed_labels, n_classes, compatibility,
-                warm, localized,
-            )
+            path = "localized"
         elif warm is not None:
-            outcome = self._run(
-                operators, prior_beliefs, seed_labels, n_classes, compatibility,
-                warm_start=warm,
-            )
+            path = "warm"
         else:
-            outcome = self._run(
-                operators, prior_beliefs, seed_labels, n_classes, compatibility
-            )
+            path = "cold"
+        start = time.perf_counter()
+        with obs.span("engine.solve", propagator=self.name, path=path, n_nodes=n_nodes):
+            if path == "localized":
+                outcome = self._run_localized(
+                    operators, prior_beliefs, seed_labels, n_classes, compatibility,
+                    warm, localized,
+                )
+            elif path == "warm":
+                outcome = self._run(
+                    operators, prior_beliefs, seed_labels, n_classes, compatibility,
+                    warm_start=warm,
+                )
+            else:
+                outcome = self._run(
+                    operators, prior_beliefs, seed_labels, n_classes, compatibility
+                )
         beliefs, n_iterations, converged, residuals, details = outcome[:5]
         state = outcome[5] if len(outcome) > 5 else {}
         elapsed = time.perf_counter() - start
+        self._record_solve(path, n_iterations, converged, residuals, elapsed)
 
         labels = labels_from_one_hot(beliefs)
         if seed_labels is not None:
@@ -344,6 +353,39 @@ class Propagator(abc.ABC):
             details=details,
             state=state,
         )
+
+    def _record_solve(
+        self, path: str, n_iterations: int, converged: bool,
+        residuals: list[float], elapsed: float,
+    ) -> None:
+        """Publish per-solve metrics (no-op under ``REPRO_OBS=off``)."""
+        if not obs.enabled():
+            return
+        registry = obs.metrics()
+        registry.counter(
+            "repro_engine_solves_total", "Propagation solves by algorithm and path.",
+            propagator=self.name, path=path,
+        ).inc()
+        registry.histogram(
+            "repro_engine_solve_seconds", "Wall time of one propagation solve.",
+            propagator=self.name,
+        ).observe(elapsed)
+        registry.histogram(
+            "repro_engine_iterations", "Fixed-point sweeps (or push rounds) per solve.",
+            buckets=obs.ITERATION_BUCKETS, propagator=self.name,
+        ).observe(n_iterations)
+        if residuals:
+            registry.histogram(
+                "repro_engine_final_residual",
+                "Max-norm residual at solve termination.",
+                buckets=obs.RESIDUAL_BUCKETS, propagator=self.name,
+            ).observe(residuals[-1])
+        if not converged:
+            registry.counter(
+                "repro_engine_nonconverged_total",
+                "Solves that hit the iteration cap before converging.",
+                propagator=self.name,
+            ).inc()
 
     # ------------------------------------------------------------- localized
     def linear_system(

@@ -38,6 +38,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.eval.experiment import ExperimentResult, run_experiment
 from repro.graph.graph import Graph
 from repro.propagation.engine import ESTIMATORS
@@ -225,8 +226,44 @@ def _result_payload(record: ExperimentResult) -> tuple[dict, dict]:
     return deterministic, timing
 
 
+def _record_run_metrics(outcome: RunOutcome) -> None:
+    """Tally one run on the metrics registry (status, wall time, phases)."""
+    if not obs.enabled():
+        return
+    registry = obs.metrics()
+    registry.counter(
+        "repro_runner_runs_total",
+        "Grid runs executed, by outcome status.",
+        status=outcome.status,
+    ).inc()
+    total = outcome.timing.get("total_seconds")
+    if total is not None:
+        registry.histogram(
+            "repro_runner_run_seconds", "End-to-end wall time of one grid run."
+        ).observe(total)
+    for phase in ("estimation", "propagation"):
+        seconds = outcome.timing.get(f"{phase}_seconds")
+        if seconds is not None:
+            registry.histogram(
+                "repro_runner_phase_seconds",
+                "Per-phase wall time inside one grid run.",
+                phase=phase,
+            ).observe(seconds)
+
+
 def _execute_one(graph: Graph, spec: RunSpec, timeout: float | None) -> RunOutcome:
     """Execute a single spec on an already-built graph, capturing failures."""
+    with obs.span(
+        "runner.run", run=spec.content_hash[:12], method=spec.estimator
+    ):
+        outcome = _execute_one_inner(graph, spec, timeout)
+    _record_run_metrics(outcome)
+    return outcome
+
+
+def _execute_one_inner(
+    graph: Graph, spec: RunSpec, timeout: float | None
+) -> RunOutcome:
     started = time.perf_counter()
     try:
         record = _call_with_timeout(
@@ -270,14 +307,28 @@ def _execute_one(graph: Graph, spec: RunSpec, timeout: float | None) -> RunOutco
     )
 
 
-def _execute_batch(batch) -> tuple[int, list[tuple[int, RunOutcome]]]:
+def _execute_batch(batch) -> tuple[int, list[tuple[int, RunOutcome]], dict | None]:
     """Worker entry point: build the batch's graph once, run every spec.
 
     ``batch`` is ``(batch_index, graph_config, [(run_index, spec), ...],
     timeout)``.  Must stay a module-level function so it pickles for the
     process pool.
+
+    The third element of the return is the batch's metrics delta — a
+    :func:`repro.obs.diff_snapshots` of the worker's global registry taken
+    around the batch.  Pool workers are separate processes, so their counter
+    increments would otherwise vanish with them; the parent merges the delta
+    back (only on the pooled path — in-process execution already recorded
+    directly on the live registry).
     """
     batch_index, graph_config, indexed_specs, timeout = batch
+    before = obs.metrics().snapshot() if obs.enabled() else None
+
+    def _metrics_delta() -> dict | None:
+        if before is None:
+            return None
+        return obs.diff_snapshots(before, obs.metrics().snapshot())
+
     try:
         graph = build_graph(graph_config)
     except Exception:
@@ -291,12 +342,12 @@ def _execute_batch(batch) -> tuple[int, list[tuple[int, RunOutcome]]]:
             )
             for run_index, spec in indexed_specs
         ]
-        return batch_index, failed
+        return batch_index, failed, _metrics_delta()
     outcomes = [
         (run_index, _execute_one(graph, spec, timeout))
         for run_index, spec in indexed_specs
     ]
-    return batch_index, outcomes
+    return batch_index, outcomes, _metrics_delta()
 
 
 def _pool_context():
@@ -385,8 +436,13 @@ def execute_grid(
 
     batches = _make_batches(pending, n_workers, timeout)
 
-    def _absorb(batch_result) -> None:
-        _, indexed_outcomes = batch_result
+    def _absorb(batch_result, merge_metrics: bool = False) -> None:
+        _, indexed_outcomes, metrics_delta = batch_result
+        if merge_metrics and metrics_delta:
+            # Pool workers tallied onto their own (forked/spawned) registry
+            # copies; fold their deltas into the live one.  The serial path
+            # skips this — it already recorded in-process.
+            obs.metrics().merge_snapshot(metrics_delta)
         if store is not None:
             # One batched append per finished worker batch: a single locked
             # write (JSONL) or transaction (SQLite) instead of one
@@ -405,7 +461,7 @@ def execute_grid(
             context = _pool_context()
             with context.Pool(processes=n_workers) as pool:
                 for batch_result in pool.imap_unordered(_execute_batch, batches):
-                    _absorb(batch_result)
+                    _absorb(batch_result, merge_metrics=True)
         else:
             for batch in batches:
                 _absorb(_execute_batch(batch))

@@ -32,6 +32,7 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 
+from repro import obs
 from repro.serve.service import InferenceService, QueryResult, ServeError
 
 __all__ = ["MicroBatcher"]
@@ -43,6 +44,9 @@ class _Pending:
     graph: str
     payload: tuple  # query: (nodes, top_k); delta: (delta,)
     future: Future
+    # Submitter's trace context, captured on the caller's thread so the
+    # flush (on the worker thread) can parent its span to the request.
+    ctx: object = None
 
 
 class MicroBatcher:
@@ -93,6 +97,36 @@ class MicroBatcher:
         self.n_query_batches = 0
         self.n_delta_batches = 0
         self.largest_batch = 0
+        # Registry mirrors of the flush behavior (the tallies above stay
+        # authoritative for stats(); these feed /metrics).
+        registry = service.registry
+        self._g_queue_depth = registry.gauge(
+            "repro_batcher_queue_depth", "Requests waiting in the batcher queue."
+        )
+        self._c_flushes = registry.counter(
+            "repro_batcher_flushes_total", "Batcher flush cycles executed."
+        )
+        self._h_flush_size = registry.histogram(
+            "repro_batcher_flush_size", "Requests drained per flush cycle.",
+            buckets=obs.SIZE_BUCKETS,
+        )
+        self._c_items = {
+            kind: registry.counter(
+                "repro_batcher_items_total",
+                "Requests flushed through the batcher, by kind.",
+                kind=kind,
+            )
+            for kind in ("query", "delta")
+        }
+        # items_total / batches_total per kind = the coalesce ratio.
+        self._c_batches = {
+            kind: registry.counter(
+                "repro_batcher_batches_total",
+                "Coalesced service calls issued by the batcher, by kind.",
+                kind=kind,
+            )
+            for kind in ("query", "delta")
+        }
         if start:
             self.start()
 
@@ -137,6 +171,9 @@ class MicroBatcher:
     # ------------------------------------------------------------ submission
     def _submit(self, kind: str, graph: str, payload: tuple) -> Future:
         future: Future = Future()
+        # Captured on the submitting thread: the flush runs on the worker
+        # thread, where the contextvar chain back to this request is gone.
+        ctx = obs.capture_context() if obs.tracing_active() else None
         with self._condition:
             if self._stopped:
                 raise ServeError("batcher is closed", status=503)
@@ -145,8 +182,10 @@ class MicroBatcher:
                     f"batcher queue is full ({self.max_queue} pending)",
                     status=503,
                 )
-            self._queue.append(_Pending(kind, graph, payload, future))
+            self._queue.append(_Pending(kind, graph, payload, future, ctx))
+            depth = len(self._queue)
             self._condition.notify()
+        self._g_queue_depth.set(depth)
         return future
 
     def submit_query(self, graph: str, nodes, top_k: int | None = None) -> Future:
@@ -223,6 +262,9 @@ class MicroBatcher:
             return 0
         self.n_flushes += 1
         self.largest_batch = max(self.largest_batch, len(batch))
+        self._c_flushes.inc()
+        self._h_flush_size.observe(len(batch))
+        self._g_queue_depth.set(len(self._queue))
 
         # Per graph: all deltas first (one propagation), then all queries
         # (one vectorized gather) — the freshness contract documented above.
@@ -235,6 +277,9 @@ class MicroBatcher:
         for graph, pendings in deltas.items():
             self.n_deltas += len(pendings)
             self.n_delta_batches += 1
+            self._c_items["delta"].inc(len(pendings))
+            self._c_batches["delta"].inc()
+            call_start = time.perf_counter()
             try:
                 outcome = self.service.apply_deltas(
                     graph, [pending.payload[0] for pending in pendings]
@@ -243,6 +288,7 @@ class MicroBatcher:
                 for pending in pendings:
                     pending.future.set_exception(exc)
                 continue
+            self._emit_flush_spans("delta", graph, pendings, call_start)
             for position, pending in enumerate(pendings):
                 error = outcome.errors[position]
                 if error is None:
@@ -260,6 +306,9 @@ class MicroBatcher:
         for graph, pendings in queries.items():
             self.n_queries += len(pendings)
             self.n_query_batches += 1
+            self._c_items["query"].inc(len(pendings))
+            self._c_batches["query"].inc()
+            call_start = time.perf_counter()
             try:
                 results = self.service.query_many(
                     graph,
@@ -270,12 +319,30 @@ class MicroBatcher:
                 for pending in pendings:
                     pending.future.set_exception(exc)
                 continue
+            self._emit_flush_spans("query", graph, pendings, call_start)
             for pending, result in zip(pendings, results):
                 if isinstance(result, Exception):
                     pending.future.set_exception(result)
                 else:
                     pending.future.set_result(result)
         return len(batch)
+
+    @staticmethod
+    def _emit_flush_spans(kind: str, graph: str, pendings, call_start: float) -> None:
+        """Attribute the coalesced service call to each submitter's trace.
+
+        Every caller whose request shared this flush gets one span, parented
+        to the context captured at submit time — this is the hop that keeps
+        request trees intact across the queue -> worker-thread boundary.
+        """
+        if not obs.tracing_active():
+            return
+        seconds = time.perf_counter() - call_start
+        for pending in pendings:
+            obs.emit_span(
+                f"batcher.flush_{kind}", seconds, parent=pending.ctx,
+                graph=graph, coalesced=len(pendings),
+            )
 
     # ----------------------------------------------------------------- stats
     def stats(self) -> dict:

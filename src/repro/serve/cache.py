@@ -30,7 +30,9 @@ __all__ = ["QueryCache"]
 class QueryCache:
     """Version-stamped LRU cache of query results for one served session."""
 
-    def __init__(self, max_entries: int = 1024) -> None:
+    def __init__(
+        self, max_entries: int = 1024, hit_counter=None, miss_counter=None
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
@@ -39,6 +41,11 @@ class QueryCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Optional repro.obs counters mirroring hits/misses onto the metrics
+        # registry.  The plain integer tallies above stay authoritative for
+        # stats() — they must keep counting even when obs is disabled.
+        self._hit_counter = hit_counter
+        self._miss_counter = miss_counter
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,9 +69,13 @@ class QueryCache:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
         return value
 
     def put(self, key: Hashable, version: int, value) -> None:

@@ -17,7 +17,16 @@ dependencies) exposing:
 * ``POST /graphs/<name>/query`` — ``{"nodes": [...], "top_k": 2}`` →
   beliefs/labels/top-k plus staleness metadata;
 * ``GET /stats`` — service- and batcher-wide counters;
+* ``GET /metrics`` — the :mod:`repro.obs` registries in Prometheus text
+  exposition format (the service registry plus the process-global one);
 * ``GET /healthz`` — liveness probe.
+
+Every response carries an ``X-Repro-Trace`` header with the request's trace
+id; when tracing is configured (``repro serve --trace``), the request span
+and everything it caused — batcher flushes, engine solves — share that id,
+so one header value greps the whole request tree out of the trace file.
+With ``log_json`` enabled the handler emits one JSON object per request to
+stderr (method, path, status, duration_ms, trace).
 
 Queries and deltas are routed through the :class:`MicroBatcher` (when one
 is attached), so concurrent HTTP clients are coalesced exactly like
@@ -28,8 +37,11 @@ in-process callers.  Every response is a JSON object; failures carry
 from __future__ import annotations
 
 import json
+import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import obs
 from repro.serve.batcher import MicroBatcher
 from repro.serve.service import InferenceService, ServeError
 
@@ -49,10 +61,12 @@ class InferenceHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: InferenceService,
         batcher: MicroBatcher | None = None,
+        log_json: bool = False,
     ) -> None:
         super().__init__(address, ServeHandler)
         self.service = service
         self.batcher = batcher
+        self.log_json = log_json
 
     def close(self) -> None:
         """Shut down the listener and the batcher (drains pending work)."""
@@ -75,15 +89,23 @@ class ServeHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # ------------------------------------------------------------------ I/O
-    def _send_json(self, payload: dict, status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, body: bytes, content_type: str, status: int) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Repro-Trace", self._trace_id)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_body(body, "application/json", status)
+
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        self._send_body(text.encode("utf-8"), content_type, status)
 
     def _send_error_json(self, message: str, status: int) -> None:
         # Error paths may not have consumed the request body (unmatched
@@ -114,20 +136,52 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -------------------------------------------------------------- routing
     def _route(self, method: str) -> None:
+        self._trace_id = obs.new_trace_id()
+        self._status = 0
+        start = time.perf_counter()
+        path = self.path.split("?")[0]
         try:
-            handled = self._dispatch(method)
-        except ServeError as exc:
-            self._send_error_json(str(exc), exc.status)
-            return
-        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
-            return
-        except Exception as exc:  # pragma: no cover - defensive catch-all
-            self._send_error_json(f"internal error: {exc}", 500)
-            return
-        if not handled:
-            self._send_error_json(
-                f"no route for {method} {self.path}", 404
-            )
+            with obs.span(
+                "http.request", trace_id=self._trace_id, method=method, path=path
+            ):
+                try:
+                    handled = self._dispatch(method)
+                except ServeError as exc:
+                    self._send_error_json(str(exc), exc.status)
+                    handled = True
+                except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                    return
+                except Exception as exc:  # pragma: no cover - defensive catch-all
+                    self._send_error_json(f"internal error: {exc}", 500)
+                    handled = True
+                if not handled:
+                    self._send_error_json(f"no route for {method} {self.path}", 404)
+        finally:
+            self._record_request(method, path, time.perf_counter() - start)
+
+    def _record_request(self, method: str, path: str, seconds: float) -> None:
+        status = self._status or 500
+        if obs.enabled():
+            registry = self.server.service.registry
+            registry.counter(
+                "repro_http_requests_total",
+                "HTTP requests served, by method and status code.",
+                method=method, status=status,
+            ).inc()
+            registry.histogram(
+                "repro_http_request_seconds",
+                "End-to-end HTTP request handling time.",
+                method=method,
+            ).observe(seconds)
+        if self.server.log_json:
+            line = json.dumps({
+                "method": method,
+                "path": path,
+                "status": status,
+                "duration_ms": round(seconds * 1000.0, 3),
+                "trace": self._trace_id,
+            }, separators=(",", ":"))
+            print(line, file=sys.stderr, flush=True)
 
     def _dispatch(self, method: str) -> bool:
         parts = [part for part in self.path.split("?")[0].split("/") if part]
@@ -141,6 +195,15 @@ class ServeHandler(BaseHTTPRequestHandler):
                 if self.server.batcher is not None:
                     stats["batcher"] = self.server.batcher.stats()
                 self._send_json(stats)
+                return True
+            if parts == ["metrics"]:
+                registries = [service.registry]
+                if obs.metrics() is not service.registry:
+                    registries.append(obs.metrics())
+                self._send_text(
+                    obs.render_prometheus(registries),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
                 return True
             if len(parts) == 2 and parts[0] == "graphs":
                 self._send_json(service.info(parts[1]))
@@ -250,6 +313,7 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8151,
     batcher: MicroBatcher | None = None,
+    log_json: bool = False,
 ) -> InferenceHTTPServer:
     """Bind the serving endpoint (``port=0`` picks a free port for tests)."""
-    return InferenceHTTPServer((host, port), service, batcher)
+    return InferenceHTTPServer((host, port), service, batcher, log_json=log_json)

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.eval.seeding import stratified_seed_labels
 from repro.graph.graph import Graph
 from repro.propagation.engine import ESTIMATORS, PROPAGATORS, propagator_names
@@ -158,39 +159,138 @@ class DeltaBatchResult:
 
 # -------------------------------------------------------------- served graph
 class _ServedGraph:
-    """One named session plus its cache, version counters and tallies."""
+    """One named session plus its cache, version counters and tallies.
+
+    The *consistency tokens* (``graph_version``, ``belief_version``) stay
+    plain integers — the query cache and read-your-writes semantics depend
+    on them and they must keep counting even under ``REPRO_OBS=off``.  The
+    *telemetry* tallies (query/delta/solve counts, staleness gauges) live
+    on the metrics registry, labeled by graph name; the old attribute
+    names are read-back properties, so the JSON shapes of ``info()`` /
+    ``staleness()`` are unchanged.
+    """
 
     def __init__(self, name: str, session: StreamingSession, source: dict,
-                 cache_entries: int) -> None:
+                 cache_entries: int, registry=None) -> None:
         self.name = name
         self.session = session
         self.source = source
-        self.cache = QueryCache(cache_entries) if cache_entries > 0 else None
+        self.registry = registry if registry is not None else obs.metrics()
         self.created_at = time.time()
         self.graph_version = 0  # deltas applied since load
         self.belief_version = 0  # completed propagations (anchor included)
-        self._pending_deltas = 0  # applied but not yet propagated
         self.last_solve_monotonic = time.monotonic()
-        self.queries_since_refresh = 0
-        self.n_queries = 0
-        self.n_deltas = 0
-        self.n_solves = 0
-        self.n_incremental = 0
-        self.n_localized = 0
-        self.n_full = 0
+        labels = {"graph": name}
+        self._c_queries = self.registry.counter(
+            "repro_serve_queries_total", "Queries answered per served graph.",
+            **labels,
+        )
+        self._c_deltas = self.registry.counter(
+            "repro_serve_deltas_total", "Deltas accepted per served graph.",
+            **labels,
+        )
+        self._c_solves = {
+            mode: self.registry.counter(
+                "repro_serve_solves_total",
+                "Belief refreshes per served graph, by solve mode.",
+                mode=mode, **labels,
+            )
+            for mode in ("full", "incremental", "localized")
+        }
+        self._g_queries_since = self.registry.gauge(
+            "repro_serve_queries_since_refresh",
+            "Queries answered from the current belief snapshot.",
+            **labels,
+        )
+        self._g_pending = self.registry.gauge(
+            "repro_serve_pending_deltas",
+            "Deltas applied to the graph but not yet propagated.",
+            **labels,
+        )
+        self._h_query = self.registry.histogram(
+            "repro_serve_query_seconds",
+            "Wall time of one (possibly batched) query_many call.",
+            **labels,
+        )
+        self._h_delta = self.registry.histogram(
+            "repro_serve_delta_seconds",
+            "Wall time of one coalesced delta batch (apply + propagate).",
+            **labels,
+        )
+        self.cache = (
+            QueryCache(
+                cache_entries,
+                hit_counter=self.registry.counter(
+                    "repro_serve_cache_hits_total",
+                    "Query-cache hits per served graph.", **labels,
+                ),
+                miss_counter=self.registry.counter(
+                    "repro_serve_cache_misses_total",
+                    "Query-cache misses per served graph.", **labels,
+                ),
+            )
+            if cache_entries > 0 else None
+        )
+
+    # -- registry-backed read-back properties (legacy attribute names) ------
+    @property
+    def n_queries(self) -> int:
+        return int(self._c_queries.value)
+
+    @property
+    def n_deltas(self) -> int:
+        return int(self._c_deltas.value)
+
+    @property
+    def n_incremental(self) -> int:
+        return int(self._c_solves["incremental"].value)
+
+    @property
+    def n_localized(self) -> int:
+        return int(self._c_solves["localized"].value)
+
+    @property
+    def n_full(self) -> int:
+        return int(self._c_solves["full"].value)
+
+    @property
+    def n_solves(self) -> int:
+        return sum(int(c.value) for c in self._c_solves.values())
+
+    @property
+    def queries_since_refresh(self) -> int:
+        return int(self._g_queries_since.value)
+
+    @property
+    def _pending_deltas(self) -> int:
+        return int(self._g_pending.value)
 
     # Callers hold session.lock for everything below.
+    def record_queries(self, n_answered: int, seconds: float) -> None:
+        self._c_queries.inc(n_answered)
+        self._g_queries_since.inc(n_answered)
+        self._h_query.observe(seconds)
+
+    def record_delta_accepted(self) -> None:
+        self._c_deltas.inc()
+        self._g_pending.inc()
+
     def record_solve(self, mode: str) -> None:
         self.belief_version += 1
-        self.n_solves += 1
-        if mode == "incremental":
-            self.n_incremental += 1
-        elif mode == "localized":
-            self.n_localized += 1
-        else:
-            self.n_full += 1
+        counter = self._c_solves.get(mode)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_serve_solves_total",
+                "Belief refreshes per served graph, by solve mode.",
+                mode=mode, graph=self.name,
+            )
+            self._c_solves[mode] = counter
+        counter.inc()
         self.last_solve_monotonic = time.monotonic()
-        self.queries_since_refresh = 0
+        self._g_queries_since.set(0)
+
+    def clear_pending(self) -> None:
+        self._g_pending.set(0)
 
     def staleness(self) -> dict:
         return {
@@ -236,11 +336,22 @@ class InferenceService:
     strict_deltas:
         Delta application strictness forwarded to every session (lenient
         mode tolerates duplicate adds / absent removals in noisy feeds).
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` carrying this service's
+        per-graph telemetry; defaults to the process-global registry
+        (``repro.obs.metrics()``).  Loading a graph resets that graph
+        name's series, so per-graph counters always start at zero.
     """
 
-    def __init__(self, cache_entries: int = 1024, strict_deltas: bool = True) -> None:
+    def __init__(
+        self,
+        cache_entries: int = 1024,
+        strict_deltas: bool = True,
+        registry=None,
+    ) -> None:
         self.cache_entries = int(cache_entries)
         self.strict_deltas = bool(strict_deltas)
+        self.registry = registry if registry is not None else obs.metrics()
         self.started_at = time.time()
         self._graphs: dict[str, _ServedGraph] = {}
         self._registry_lock = threading.RLock()
@@ -344,6 +455,10 @@ class InferenceService:
                 graph, seed_labels, method, method_kwargs, int(seed)
             )
 
+        # A (re)loaded graph starts its telemetry from zero: drop any series
+        # a previous same-named load left on the registry *before* the new
+        # session registers its own.
+        self.registry.reset_children(graph=name)
         session = StreamingSession(
             graph,
             propagator_instance,
@@ -351,9 +466,11 @@ class InferenceService:
             seed_labels=seed_labels,
             localized=bool(localized),
             strict=self.strict_deltas,
+            registry=self.registry,
+            metric_labels={"graph": name},
         )
-        served = _ServedGraph(name, session, source, self.cache_entries)
-        with session.lock:
+        served = _ServedGraph(name, session, source, self.cache_entries, self.registry)
+        with session.lock, obs.span("serve.load", graph=name):
             step = session.propagate()
             served.record_solve(step.mode)
 
@@ -395,6 +512,8 @@ class InferenceService:
             with served.session.lock:  # a consistent final snapshot
                 info = served.info()
             del self._graphs[name]
+            # Bound series cardinality: an unloaded graph stops exporting.
+            self.registry.reset_children(graph=name)
         return info
 
     def info(self, name: str) -> dict:
@@ -457,7 +576,10 @@ class InferenceService:
         order; per-request failures never poison their batch siblings.
         """
         served = self._served(name)
-        with served.session.lock:
+        query_start = time.perf_counter()
+        with served.session.lock, obs.span(
+            "serve.query", graph=name, n_requests=len(requests)
+        ):
             result = served.session.last_result
             if result is None:  # pragma: no cover - load always anchors
                 raise ServeError(f"graph {name!r} has no beliefs yet", status=503)
@@ -542,8 +664,7 @@ class InferenceService:
             n_answered = sum(
                 1 for out in outputs if isinstance(out, QueryResult)
             )
-            served.n_queries += n_answered
-            served.queries_since_refresh += n_answered
+            served.record_queries(n_answered, time.perf_counter() - query_start)
             return outputs
 
     # --------------------------------------------------------------- deltas
@@ -564,7 +685,10 @@ class InferenceService:
         deltas cost one propagation instead of N.
         """
         served = self._served(name)
-        with served.session.lock:
+        delta_start = time.perf_counter()
+        with served.session.lock, obs.span(
+            "serve.delta", graph=name, n_deltas=len(deltas)
+        ):
             errors: list[str | None] = []
             n_applied = 0
             for delta in deltas:
@@ -582,8 +706,7 @@ class InferenceService:
                 errors.append(None)
                 n_applied += 1
                 served.graph_version += 1
-                served.n_deltas += 1
-                served._pending_deltas += 1
+                served.record_delta_accepted()
             mode = reason = None
             propagate_seconds = 0.0
             if n_applied:
@@ -591,7 +714,8 @@ class InferenceService:
                 mode, reason = step.mode, step.decision.reason
                 propagate_seconds = step.propagate_seconds
                 served.record_solve(step.mode)
-                served._pending_deltas = 0
+                served.clear_pending()
+            served._h_delta.observe(time.perf_counter() - delta_start)
             return DeltaBatchResult(
                 name=name,
                 n_deltas=len(deltas),

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.eval.metrics import macro_accuracy
 from repro.graph.graph import Graph
 from repro.propagation.engine import Propagator
@@ -324,9 +325,10 @@ def replay_events(
         report.steps.append(record)
         return record
 
-    initial = session.propagate()
-    record_step(initial, "initial solve")
-    for delta in deltas:
-        step = session.step(delta)
-        record_step(step, delta.summary())
+    with obs.span("stream.replay", graph=graph.name, n_events=len(deltas)):
+        initial = session.propagate()
+        record_step(initial, "initial solve")
+        for delta in deltas:
+            step = session.step(delta)
+            record_step(step, delta.summary())
     return report

@@ -24,6 +24,7 @@ timed :class:`StreamStep`.
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 import time
@@ -31,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.graph.graph import Graph
 from repro.propagation import kernels
 from repro.propagation.convergence import (
@@ -51,6 +53,11 @@ from repro.stream.incremental import (
 )
 
 __all__ = ["StreamStep", "StreamingSession"]
+
+# Unique per-session metric label so every session's lifetime counters stay
+# separate on the (by default process-global) registry — tests and the serve
+# layer read back exactly one session's counts.
+_SESSION_IDS = itertools.count()
 
 # Warm Lanczos restarts: few steps, tight Ritz tolerance — the estimate must
 # track the batch ARPACK value to ~1e-9 relative so that warm and full
@@ -191,6 +198,8 @@ class StreamingSession:
         localized_edge_fraction: float = LOCALIZED_EDGE_FRACTION,
         strict: bool = True,
         spectral_seed=0,
+        registry=None,
+        metric_labels: dict | None = None,
     ) -> None:
         if graph.n_classes is None:
             raise ValueError("the session graph must know its number of classes")
@@ -234,14 +243,45 @@ class StreamingSession:
         self._spectral: SpectralState | None = None
         self._anchor_radius: float | None = None
         self._edges_since_anchor = 0
-        self.mode_counts = {"full": 0, "incremental": 0, "localized": 0}
-        self.touched_nnz_total = 0
+        # Lifetime counters live on the metrics registry (PR 6's bespoke
+        # dict/int fields became the `mode_counts` / `touched_nnz_total`
+        # read-back properties).  A unique `session` label isolates this
+        # session's series; `metric_labels` adds caller dimensions (the
+        # serve layer tags the graph name).
+        self.registry = registry if registry is not None else obs.metrics()
+        labels = {"session": f"s{next(_SESSION_IDS)}"}
+        if metric_labels:
+            labels.update(metric_labels)
+        self._metric_labels = labels
+        self._mode_counters = {
+            mode: self.registry.counter(
+                "repro_stream_solves_total",
+                "Streaming solves by decision mode.",
+                mode=mode, **labels,
+            )
+            for mode in ("full", "incremental", "localized")
+        }
+        self._touched_counter = self.registry.counter(
+            "repro_stream_touched_nnz_total",
+            "Stored nonzeros visited by streaming solves.",
+            **labels,
+        )
 
     # ------------------------------------------------------------- properties
     @property
     def propagator(self) -> Propagator:
         """The wrapped propagation algorithm."""
         return self.incremental.propagator
+
+    @property
+    def mode_counts(self) -> dict:
+        """Per-mode solve counts, read back from the metrics registry."""
+        return {mode: int(c.value) for mode, c in self._mode_counters.items()}
+
+    @property
+    def touched_nnz_total(self) -> int:
+        """Total stored nonzeros visited, read back from the registry."""
+        return int(self._touched_counter.value)
 
     @property
     def _tracks_spectrum(self) -> bool:
@@ -260,7 +300,7 @@ class StreamingSession:
         observe the graph with the adjacency swapped but the labels not yet
         grown (or vice versa).
         """
-        with self.lock:
+        with self.lock, obs.span("stream.apply", graph=self.graph.name):
             return self._apply(delta)
 
     def _apply(self, delta: GraphDelta) -> float:
@@ -320,7 +360,13 @@ class StreamingSession:
 
         self._pending.absorb(delta, application.touched_nodes)
         self._edges_since_anchor += delta.n_changed_edges
-        return time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if obs.enabled():
+            obs.metrics().histogram(
+                "repro_stream_apply_seconds",
+                "Delta application (CSR mutation + label bookkeeping) time.",
+            ).observe(elapsed)
+        return elapsed
 
     # -------------------------------------------------------------- propagate
     def _refresh_spectral(
@@ -382,7 +428,13 @@ class StreamingSession:
         drift = None
         if self._anchor_radius:
             drift = abs(state.radius - self._anchor_radius) / self._anchor_radius
-        return time.perf_counter() - start, drift
+        elapsed = time.perf_counter() - start
+        if obs.enabled():
+            obs.metrics().histogram(
+                "repro_stream_spectral_seconds",
+                "Warm Lanczos spectral-refresh time per step.",
+            ).observe(elapsed)
+        return elapsed, drift
 
     def propagate(self, force_full: bool = False) -> StreamStep:
         """Advance the beliefs over everything applied since the last solve.
@@ -428,18 +480,26 @@ class StreamingSession:
             localized_hint = self._localized_hint(previous)
 
         start = time.perf_counter()
-        result, decision = self.incremental.propagate(
-            self.graph,
-            self.seed_labels,
-            self.compatibility,
-            previous=previous,
-            delta_fraction=delta_fraction,
-            radius_drift=drift,
-            force_full=force_full,
-            n_classes=self.graph.n_classes,
-            localized_hint=localized_hint,
-        )
+        with obs.span("stream.propagate", graph=self.graph.name) as solve_span:
+            result, decision = self.incremental.propagate(
+                self.graph,
+                self.seed_labels,
+                self.compatibility,
+                previous=previous,
+                delta_fraction=delta_fraction,
+                radius_drift=drift,
+                force_full=force_full,
+                n_classes=self.graph.n_classes,
+                localized_hint=localized_hint,
+            )
+            solve_span.annotate(mode=decision.mode, reason=decision.reason)
         propagate_seconds = time.perf_counter() - start
+        if obs.enabled():
+            obs.metrics().histogram(
+                "repro_stream_propagate_seconds",
+                "Solve time per streaming step, by decision mode.",
+                mode=decision.mode,
+            ).observe(propagate_seconds)
 
         if decision.mode == "full":
             # Re-anchor: the drift and delta budgets restart here.
@@ -452,8 +512,15 @@ class StreamingSession:
             touched_nnz = int(result.details.get("touched_nnz", 0))
         else:
             touched_nnz = int(result.n_iterations) * int(self.graph.adjacency.nnz)
-        self.mode_counts[decision.mode] = self.mode_counts.get(decision.mode, 0) + 1
-        self.touched_nnz_total += touched_nnz
+        mode_counter = self._mode_counters.get(decision.mode)
+        if mode_counter is None:  # defensive: unknown future mode
+            mode_counter = self.registry.counter(
+                "repro_stream_solves_total", "Streaming solves by decision mode.",
+                mode=decision.mode, **self._metric_labels,
+            )
+            self._mode_counters[decision.mode] = mode_counter
+        mode_counter.inc()
+        self._touched_counter.inc(touched_nnz)
 
         step = StreamStep(
             index=self.n_steps,
@@ -483,7 +550,7 @@ class StreamingSession:
         Holds the (reentrant) session :attr:`lock` across both halves, so
         no reader can slip in between the mutation and the solve.
         """
-        with self.lock:
+        with self.lock, obs.span("stream.step", graph=self.graph.name):
             apply_seconds = self.apply(delta)
             outcome = self.propagate(force_full=force_full)
             outcome.apply_seconds = apply_seconds

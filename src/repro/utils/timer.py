@@ -1,11 +1,36 @@
-"""Lightweight wall-clock timing used by the benchmark harness."""
+"""Lightweight wall-clock timing used by the benchmark harness.
+
+.. deprecated::
+    :class:`Timer` predates the observability layer.  New code should use
+    :func:`repro.obs.span` (which both times the region and attributes it to
+    the active trace) or a plain ``time.perf_counter()`` pair.  The class
+    keeps working — the benchmark harness and external callers rely on its
+    exact accumulate-across-entries semantics — but emits a
+    :class:`DeprecationWarning` once per process on first use.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 __all__ = ["Timer"]
+
+_warned = False
+
+
+def _warn_deprecated() -> None:
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        "repro.utils.timer.Timer is deprecated; use repro.obs.span (traced, "
+        "metrics-aware) or time.perf_counter() directly",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -23,6 +48,9 @@ class Timer:
 
     elapsed: float = 0.0
     _start: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        _warn_deprecated()
 
     def __enter__(self) -> "Timer":
         self._start = time.perf_counter()

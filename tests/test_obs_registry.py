@@ -1,0 +1,255 @@
+"""Unit tests for the repro.obs metrics registry."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry, diff_snapshots, render_prometheus
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("repro_test_total", "help text")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("repro_test_total")
+        with pytest.raises(ValueError, match="increase"):
+            counter.inc(-1)
+
+    def test_same_labels_return_same_child(self, registry):
+        a = registry.counter("repro_test_total", kind="a", graph="g")
+        b = registry.counter("repro_test_total", graph="g", kind="a")
+        assert a is b
+        other = registry.counter("repro_test_total", kind="b", graph="g")
+        assert other is not a
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_test_total")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("repro_ok_total", **{"le": "oops"})
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("repro_ok_total", **{"bad-label": "x"})
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self, registry):
+        histogram = registry.histogram("repro_lat_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 10.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(15.0)
+        # counts: <=1, <=2, <=4, +Inf
+        assert histogram.counts == [1, 1, 1, 1]
+
+    def test_quantiles_interpolate_within_buckets(self, registry):
+        histogram = registry.histogram("repro_lat_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 10.0):
+            histogram.observe(value)
+        p50 = histogram.quantile(0.50)
+        assert 1.0 <= p50 <= 2.0
+        assert histogram.quantile(0.0) <= p50 <= histogram.quantile(0.95)
+        # The +Inf bucket is reported as the last finite bound.
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_empty_histogram_quantile_is_nan(self, registry):
+        histogram = registry.histogram("repro_lat_seconds")
+        assert histogram.quantile(0.5) != histogram.quantile(0.5)  # NaN
+
+    def test_summary_shape(self, registry):
+        histogram = registry.histogram("repro_lat_seconds", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "sum", "p50", "p95", "p99"}
+        assert summary["count"] == 1
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("repro_bad_seconds", buckets=(2.0, 1.0))
+
+
+class TestConcurrency:
+    def test_threaded_increments_match_serial_total(self, registry):
+        counter = registry.counter("repro_hammer_total")
+        histogram = registry.histogram("repro_hammer_seconds", buckets=(0.5, 1.0))
+        n_threads, per_thread = 8, 5000
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == n_threads * per_thread
+        assert histogram.count == n_threads * per_thread
+        assert histogram.counts[0] == n_threads * per_thread
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("repro_q_total", "Queries.", graph="g").inc(3)
+        registry.gauge("repro_depth", "Queue depth.").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP repro_q_total Queries." in text
+        assert "# TYPE repro_q_total counter" in text
+        assert 'repro_q_total{graph="g"} 3' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 2" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        histogram = registry.histogram("repro_lat_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="2"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_count 3" in text
+        assert "repro_lat_seconds_sum 7" in text
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("repro_esc_total", path='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_multi_registry_first_wins_on_duplicates(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("repro_dup_total").inc(1)
+        second.counter("repro_dup_total").inc(99)
+        second.counter("repro_only_total").inc(5)
+        text = render_prometheus([first, second])
+        assert "repro_dup_total 1" in text
+        assert "repro_dup_total 99" not in text
+        assert "repro_only_total 5" in text
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prometheus() == ""
+
+
+class TestSnapshots:
+    def test_snapshot_is_picklable(self, registry):
+        registry.counter("repro_c_total", graph="g").inc(2)
+        registry.histogram("repro_h_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_diff_drops_zero_deltas(self, registry):
+        registry.counter("repro_c_total", kind="idle").inc(5)
+        before = registry.snapshot()
+        registry.counter("repro_c_total", kind="busy").inc(3)
+        delta = diff_snapshots(before, registry.snapshot())
+        children = delta["families"]["repro_c_total"]["children"]
+        assert len(children) == 1
+        assert children[0][1]["value"] == 3
+
+    def test_merge_adds_counters_and_histograms(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        source.counter("repro_c_total").inc(4)
+        source.histogram("repro_h_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        target.counter("repro_c_total").inc(1)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("repro_c_total").value == 5
+        merged = target.get("repro_h_seconds")
+        assert merged.count == 1 and merged.counts[1] == 1
+
+    def test_merge_gauge_last_write_wins(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        source.gauge("repro_depth").set(7)
+        target.gauge("repro_depth").set(3)
+        target.merge_snapshot(source.snapshot())
+        assert target.gauge("repro_depth").value == 7
+
+    def test_round_trip_diff_then_merge_equals_direct(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.counter("repro_runs_total", status="ok").inc(2)
+        before = worker.snapshot()
+        worker.counter("repro_runs_total", status="ok").inc(3)
+        worker.histogram("repro_t_seconds", buckets=(1.0,)).observe(0.2)
+        parent.merge_snapshot(diff_snapshots(before, worker.snapshot()))
+        assert parent.counter("repro_runs_total", status="ok").value == 3
+        assert parent.get("repro_t_seconds").count == 1
+
+
+class TestLifecycle:
+    def test_reset_children_drops_matching_labels(self, registry):
+        registry.counter("repro_q_total", graph="a", mode="x").inc()
+        registry.counter("repro_q_total", graph="b", mode="x").inc()
+        registry.gauge("repro_depth", graph="a").set(1)
+        removed = registry.reset_children(graph="a")
+        assert removed == 2
+        assert registry.get("repro_q_total", graph="a", mode="x") is None
+        assert registry.get("repro_q_total", graph="b", mode="x") is not None
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("repro_q_total").inc()
+        registry.reset()
+        assert registry.families() == {}
+
+    def test_use_registry_swaps_and_restores_global(self):
+        original = obs.metrics()
+        with obs.use_registry() as swapped:
+            assert obs.metrics() is swapped
+            assert swapped is not original
+            obs.metrics().counter("repro_tmp_total").inc()
+        assert obs.metrics() is original
+        assert original.get("repro_tmp_total") is None
+
+
+class TestEnableSwitch:
+    def test_disabled_freezes_recording(self, registry):
+        counter = registry.counter("repro_c_total")
+        gauge = registry.gauge("repro_g")
+        histogram = registry.histogram("repro_h_seconds", buckets=(1.0,))
+        counter.inc()
+        previous = obs.set_enabled(False)
+        try:
+            counter.inc(10)
+            gauge.set(42)
+            histogram.observe(0.5)
+        finally:
+            obs.set_enabled(previous)
+        assert counter.value == 1
+        assert gauge.value == 0
+        assert histogram.count == 0
+
+    def test_merge_works_while_disabled(self):
+        source, target = MetricsRegistry(), MetricsRegistry()
+        source.counter("repro_c_total").inc(4)
+        snapshot = source.snapshot()
+        previous = obs.set_enabled(False)
+        try:
+            target.merge_snapshot(snapshot)
+        finally:
+            obs.set_enabled(previous)
+        assert target.counter("repro_c_total").value == 4
