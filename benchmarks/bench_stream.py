@@ -225,36 +225,56 @@ def _env_flag(name: str) -> bool:
     return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 
 
-def bench_obs_overhead(graph, compatibility, seed_labels, args, rng) -> dict:
-    """Steady-state step time with observability on vs off.
+TRACE_SAMPLE_P = 0.1  # the deployment default the acceptance check exercises
 
-    Two identical streaming sessions absorb the same warmup delta, then
-    replay the same measured deltas — one with ``repro.obs`` recording
-    enabled (the default), one with it switched off.  Per-step times are
-    pooled across repeats and compared by median, which is the acceptance
-    number for the instrumentation: the enabled path must stay within a
-    few percent of the disabled one.  Tracing stays unconfigured either
-    way (as in production scrape-only deployments); the cost measured is
-    the counter/histogram write path on the session, engine, and push
-    hot loops.
+
+def bench_obs_overhead(graph, compatibility, seed_labels, args, rng) -> dict:
+    """Steady-state step time with observability off / on / on + sampled tracing.
+
+    Three identical streaming sessions absorb the same warmup delta, then
+    replay the same measured deltas under three instrumentation levels:
+
+    * ``disabled`` — ``repro.obs`` recording switched off (the floor);
+    * ``metrics`` — recording enabled, tracing unconfigured (a scrape-only
+      deployment: the counter/histogram write path on the session, engine,
+      and push hot loops);
+    * ``sampled`` — recording enabled *plus* a trace sink with head
+      sampling at ``TRACE_SAMPLE_P`` (the ``repro serve --trace
+      --trace-sample 0.1`` deployment).
+
+    Per-step times are pooled across repeats and compared by the median of
+    paired differences against the disabled floor — step *i* of each round
+    replays the same delta chunk on identically evolved sessions, so pairing
+    removes the chunk-to-chunk cost variation that unpaired medians mix in.
+    Both overheads must stay within the 2% instrumentation budget.
     """
     from repro import obs
 
     config = PROPAGATOR_CONFIGS["linbp"]
     n_delta = max(1, int(0.005 * graph.n_edges))
     n_steps = 10
-    per_step: dict[bool, list[float]] = {True: [], False: []}
+    variants = ("disabled", "metrics", "sampled")
+    per_step: dict[str, list[float]] = {name: [] for name in variants}
+    n_trace_records = 0
     for round_index in range(max(3, args.repeats)):
         pool = fresh_random_edges(graph.adjacency, (n_steps + 1) * n_delta, rng)
         chunks = [
             pool[index * n_delta:(index + 1) * n_delta]
             for index in range(n_steps + 1)
         ]
-        # Alternate which flag runs first so slow machine drift (thermal,
-        # competing load) cancels instead of biasing one side.
-        order = (True, False) if round_index % 2 == 0 else (False, True)
-        for flag in order:
-            previous = obs.set_enabled(flag)
+        # Rotate the run order each round so slow machine drift (thermal,
+        # competing load) cancels instead of biasing one variant.
+        order = variants[round_index % 3:] + variants[:round_index % 3]
+        for variant in order:
+            previous_enabled = obs.set_enabled(variant != "disabled")
+            previous_sink = None
+            previous_sampling = None
+            sink_records: list[dict] = []
+            if variant == "sampled":
+                previous_sink = obs.configure_tracing(sink_records.append)
+                previous_sampling = obs.configure_sampling(
+                    probability=TRACE_SAMPLE_P
+                )
             try:
                 with obs.use_registry():
                     session = StreamingSession(
@@ -268,32 +288,46 @@ def bench_obs_overhead(graph, compatibility, seed_labels, args, rng) -> dict:
                     for chunk in chunks[1:]:
                         start = time.perf_counter()
                         session.step(GraphDelta(add_edges=chunk))
-                        per_step[flag].append(time.perf_counter() - start)
+                        per_step[variant].append(time.perf_counter() - start)
             finally:
-                obs.set_enabled(previous)
-    # Step i of each round replays the *same* delta chunk on identically
-    # evolved sessions under both flags, so the honest estimator is the
-    # median of paired differences — unpaired medians mix chunks whose
-    # intrinsic step costs differ by more than the instrumentation does.
-    enabled = np.asarray(per_step[True])
-    disabled = np.asarray(per_step[False])
-    enabled_seconds = float(np.median(enabled))
+                obs.set_enabled(previous_enabled)
+                if variant == "sampled":
+                    obs.configure_tracing(previous_sink)
+                    obs.configure_sampling(*previous_sampling)
+                    n_trace_records += len(sink_records)
+
+    disabled = np.asarray(per_step["disabled"])
     disabled_seconds = float(np.median(disabled))
-    overhead = (
-        float(np.median(enabled - disabled)) / disabled_seconds
-        if disabled_seconds > 0 else 0.0
-    )
+
+    def paired_overhead(name: str) -> float:
+        deltas = np.asarray(per_step[name]) - disabled
+        return (
+            float(np.median(deltas)) / disabled_seconds
+            if disabled_seconds > 0 else 0.0
+        )
+
+    overhead = paired_overhead("metrics")
+    sampling_overhead = paired_overhead("sampled")
     record = {
-        "enabled_seconds": enabled_seconds,
+        "enabled_seconds": float(np.median(per_step["metrics"])),
         "disabled_seconds": disabled_seconds,
         "overhead_fraction": overhead,
         "within_2pct": overhead <= 0.02,
-        "n_steps_measured": len(per_step[True]),
+        "sampled_tracing_seconds": float(np.median(per_step["sampled"])),
+        "sampling_overhead_fraction": sampling_overhead,
+        "sampling_within_2pct": sampling_overhead <= 0.02,
+        "trace_sample_probability": TRACE_SAMPLE_P,
+        "n_trace_records": n_trace_records,
+        "n_steps_measured": len(per_step["metrics"]),
     }
-    print(f"obs overhead: enabled {enabled_seconds*1e3:.2f} ms/step, "
-          f"disabled {disabled_seconds*1e3:.2f} ms/step "
-          f"-> {overhead:+.2%} ({'within' if record['within_2pct'] else 'OVER'} "
-          f"the 2% budget)")
+    print(f"obs overhead: disabled {disabled_seconds*1e3:.2f} ms/step, "
+          f"metrics {record['enabled_seconds']*1e3:.2f} ms/step "
+          f"({overhead:+.2%}), sampled tracing "
+          f"{record['sampled_tracing_seconds']*1e3:.2f} ms/step "
+          f"({sampling_overhead:+.2%}, {n_trace_records} spans kept) — "
+          f"budget 2%: metrics "
+          f"{'within' if record['within_2pct'] else 'OVER'}, sampling "
+          f"{'within' if record['sampling_within_2pct'] else 'OVER'}")
     return record
 
 

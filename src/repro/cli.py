@@ -1,6 +1,6 @@
 """Command-line interface for the library.
 
-Thirteen subcommands cover the end-to-end workflow without writing Python:
+Fourteen subcommands cover the end-to-end workflow without writing Python:
 
 * ``repro generate``   — create a synthetic graph with planted compatibilities
 * ``repro dataset``    — build one of the real-world dataset stand-ins
@@ -13,6 +13,7 @@ Thirteen subcommands cover the end-to-end workflow without writing Python:
 * ``repro gc``         — compact a result store (drop superseded records)
 * ``repro stream``     — replay a JSONL delta stream with incremental propagation
 * ``repro serve``      — serve label-belief queries over HTTP (micro-batched)
+* ``repro top``        — live dashboard over one or more serve ``/metrics``
 * ``repro stats``      — summarize a trace file written by ``--trace``
 * ``repro list``       — print the registered propagators and estimators
 
@@ -35,7 +36,11 @@ Examples
     repro stream ab12ef --from-store runs/grid     # replay a stored run's graph
     repro serve graph.npz --port 8151              # online query service
     repro serve graph.npz --trace trace.jsonl --log-json
+    repro serve graph.npz --slo examples/specs/serve_slo.json
+    repro top :8151 :8152                          # live fleet dashboard
+    repro top :8151 --once --json                  # one federated summary
     repro stats trace.jsonl --slowest 3            # span report from a trace
+    repro stats trace.jsonl --trace-id ab12cd      # one request's span tree
 
 ``--propagator`` and ``--method`` values are validated against the
 ``PROPAGATORS``/``ESTIMATORS`` registries of :mod:`repro.propagation.engine`
@@ -307,7 +312,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "request tree")
     serve.add_argument("--log-json", action="store_true", dest="log_json",
                        help="emit one JSON object per request to stderr "
-                            "(method, path, status, duration_ms, trace)")
+                            "(method, path, status, duration_ms, trace), "
+                            "plus one per SLO alert transition with --slo")
+    serve.add_argument("--trace-sample", type=float, default=None,
+                       dest="trace_sample", metavar="P",
+                       help="head-sample traces: keep this fraction of "
+                            "request trees (decided per trace id; spans "
+                            "slower than REPRO_TRACE_SLOW_MS are always "
+                            "kept)")
+    serve.add_argument("--slo", default=None, metavar="FILE",
+                       help="JSON SLO spec (see repro.obs.slo); rules are "
+                            "evaluated continuously, degrade /healthz to "
+                            "503 while firing, and are listed on /alerts")
+    serve.add_argument("--slo-interval", type=float, default=1.0,
+                       dest="slo_interval", metavar="SECONDS",
+                       help="SLO recorder sampling period (default 1s)")
+
+    top = subparsers.add_parser(
+        "top", help="live terminal dashboard over serve /metrics endpoints"
+    )
+    top.add_argument("endpoints", nargs="+",
+                     help="one or more /metrics endpoints: full URLs, "
+                          "host:port, or :port (localhost implied); several "
+                          "endpoints federate under an 'instance' label")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh/sampling period in seconds (default 1)")
+    top.add_argument("--window", type=float, default=60.0,
+                     help="rate/quantile window in seconds (default 60)")
+    top.add_argument("--timeout", type=float, default=2.0,
+                     help="per-endpoint scrape timeout in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="sample twice (one interval apart), print one "
+                          "summary, and exit — for scripts and CI")
+    top.add_argument("--json", action="store_true", dest="as_json",
+                     help="with --once: print the summary as JSON")
 
     stats = subparsers.add_parser(
         "stats", help="summarize a trace file written by --trace"
@@ -317,6 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--slowest", type=int, default=1, metavar="N",
                        help="render the N slowest root traces as trees "
                             "(default 1; 0 disables)")
+    stats.add_argument("--trace-id", default=None, dest="trace_id",
+                       metavar="ID",
+                       help="render exactly this trace's span tree (unique "
+                            "prefixes ok — the X-Repro-Trace header value)")
     stats.add_argument("--json", action="store_true", dest="as_json",
                        help="print the per-span summary as JSON instead of "
                             "a table")
@@ -705,10 +747,58 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_slo_recorder(args: argparse.Namespace, service) -> "object | None":
+    """Build the recorder+SLO stack for ``repro serve --slo`` (or None)."""
+    if not args.slo:
+        return None
+    from repro import obs
+
+    slo_path = Path(args.slo)
+    if not slo_path.exists():
+        raise CLIError(f"SLO spec file not found: {slo_path}")
+    try:
+        spec = obs.SloSpec.from_json(slo_path)
+    except obs.SloSpecError as exc:
+        raise CLIError(str(exc)) from exc
+    if args.slo_interval <= 0:
+        raise CLIError("--slo-interval must be > 0")
+    registries = [service.registry]
+    if obs.metrics() is not service.registry:
+        registries.append(obs.metrics())
+    recorder = obs.TimeSeriesRecorder(
+        obs.registry_source(registries), interval_seconds=args.slo_interval
+    )
+    recorder.attach_slo(spec)
+
+    def on_alert(status, firing: bool) -> None:
+        if args.log_json:
+            line = json.dumps(
+                {"event": "slo_alert", **status.to_dict()},
+                separators=(",", ":"),
+            )
+        else:
+            verb = "FIRING" if firing else "resolved"
+            line = f"alert {status.name} {verb}: {status.detail}"
+        print(line, file=sys.stderr, flush=True)
+
+    recorder.on_alert = on_alert
+    print(f"SLO spec {slo_path}: {len(spec.rules)} rule(s), "
+          f"sampled every {args.slo_interval:g}s")
+    return recorder
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve import InferenceService, MicroBatcher, ServeError, make_server
 
     _configure_trace(args.trace)
+    if args.trace_sample is not None:
+        if not 0.0 <= args.trace_sample <= 1.0:
+            raise CLIError("--trace-sample must be in [0, 1]")
+        from repro import obs
+
+        obs.configure_sampling(probability=args.trace_sample)
+        print(f"head-sampling traces at p={args.trace_sample:g} "
+              f"(slow spans always kept)")
     service = InferenceService(
         cache_entries=args.cache_entries, strict_deltas=not args.lenient
     )
@@ -741,6 +831,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     elif args.from_store:
         raise CLIError("--from-store needs a record hash as the GRAPH argument")
 
+    recorder = _make_slo_recorder(args, service)
     batcher = None
     if not args.no_batching:
         batcher = MicroBatcher(
@@ -751,12 +842,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     try:
         server = make_server(
             service, host=args.host, port=args.port, batcher=batcher,
-            log_json=args.log_json,
+            log_json=args.log_json, recorder=recorder,
         )
     except OSError as exc:
         if batcher is not None:
             batcher.close()
         raise CLIError(f"could not bind {args.host}:{args.port}: {exc}") from exc
+    if recorder is not None:
+        recorder.start()
     mode = "unbatched" if batcher is None else (
         f"micro-batched (<= {args.max_batch}/flush, "
         f"{args.max_latency * 1e3:g} ms budget)"
@@ -772,15 +865,70 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import top as obs_top
+
+    if args.as_json and not args.once:
+        raise CLIError("--json needs --once (one machine-readable summary)")
+    if args.interval <= 0:
+        raise CLIError("--interval must be > 0")
+    try:
+        client = obs_top.TopClient(
+            args.endpoints,
+            interval_seconds=args.interval,
+            window_seconds=args.window,
+            timeout=args.timeout,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    if args.once:
+        # Rates need two edge samples, one interval apart.
+        client.poll()
+        time.sleep(args.interval)
+        client.poll()
+        summary = client.summary()
+        if args.as_json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(obs_top.render(client), end="")
+        return 0 if summary["instances_up"] else 1
+    try:
+        while True:
+            client.poll()
+            sys.stdout.write("\x1b[2J\x1b[H" + obs_top.render(client))
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
-    from repro.obs import read_trace, render_trace_report, summarize_spans
+    from repro.obs import (
+        TraceReadError,
+        read_trace,
+        render_trace_report,
+        render_trace_tree,
+        summarize_spans,
+    )
 
     path = Path(args.trace)
     if not path.exists():
         raise CLIError(f"trace file not found: {path}")
-    records = read_trace(path)
+    try:
+        records = read_trace(path)
+    except TraceReadError as exc:
+        raise CLIError(str(exc)) from exc
     if not records:
         raise CLIError(f"trace file {path} contains no spans")
+    if args.trace_id:
+        try:
+            print(render_trace_tree(records, args.trace_id), end="")
+        except ValueError as exc:
+            raise CLIError(str(exc)) from exc
+        return 0
     if args.as_json:
         print(json.dumps(summarize_spans(records), indent=2))
     else:
@@ -819,6 +967,7 @@ COMMANDS = {
     "gc": _command_gc,
     "stream": _command_stream,
     "serve": _command_serve,
+    "top": _command_top,
     "stats": _command_stats,
     "list": _command_list,
 }

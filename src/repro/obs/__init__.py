@@ -19,6 +19,20 @@ One dependency-free substrate for every measurement in the repo:
   recording into no-ops; instrumentation never changes numerics either
   way.
 
+Fleet layer (PR 8), built on those primitives:
+
+* **History** — :class:`TimeSeriesRecorder` samples snapshots into a
+  fixed-memory ring and answers windowed queries (rates, sliding
+  p50/p95/p99); :func:`registry_source` feeds it locally.
+* **Federation** — :func:`parse_prometheus` reads exposition text back
+  into snapshot shape; :class:`MetricsScraper` / :func:`scrape_source`
+  poll N ``/metrics`` endpoints into one ``instance``-labeled view.
+* **SLOs** — :class:`SloSpec` rules (JSON) evaluated by the recorder;
+  firing rules degrade ``GET /healthz`` and surface on ``GET /alerts``.
+* **Sampling** — ``REPRO_TRACE_SAMPLE`` / :func:`configure_sampling`
+  head-sample traces (slow spans always kept); sampled observations
+  leave exemplar trace ids on histogram buckets.
+
 Metric naming scheme: ``repro_<subsystem>_<metric>[_<unit>]`` with
 labels for dimensions, e.g. ``repro_engine_solve_seconds{propagator}``,
 ``repro_serve_queries_total{graph}``, ``repro_push_frontier_size``.
@@ -43,17 +57,36 @@ from repro.obs.registry import (
     diff_snapshots,
     render_prometheus,
 )
-from repro.obs.report import read_trace, render_trace_report, summarize_spans
+from repro.obs.report import (
+    TraceReadError,
+    read_trace,
+    render_trace_report,
+    render_trace_tree,
+    summarize_spans,
+)
+from repro.obs.scrape import (
+    MetricsScraper,
+    PrometheusParseError,
+    federate_snapshots,
+    label_snapshot,
+    parse_prometheus,
+    scrape_source,
+)
+from repro.obs.slo import RuleStatus, SloRule, SloSpec, SloSpecError
+from repro.obs.timeseries import TimeSeriesRecorder, registry_source
 from repro.obs.trace import (
     JsonlTraceSink,
     Span,
     SpanContext,
     capture_context,
+    configure_sampling,
     configure_tracing,
     current_context,
     emit_span,
     new_trace_id,
+    sampling,
     span,
+    trace_sampled,
     tracing_active,
 )
 
@@ -85,7 +118,24 @@ __all__ = [
     "JsonlTraceSink",
     "read_trace",
     "render_trace_report",
+    "render_trace_tree",
+    "TraceReadError",
     "summarize_spans",
+    "TimeSeriesRecorder",
+    "registry_source",
+    "parse_prometheus",
+    "PrometheusParseError",
+    "label_snapshot",
+    "federate_snapshots",
+    "MetricsScraper",
+    "scrape_source",
+    "SloSpec",
+    "SloRule",
+    "RuleStatus",
+    "SloSpecError",
+    "configure_sampling",
+    "sampling",
+    "trace_sampled",
 ]
 
 _global_registry = MetricsRegistry()

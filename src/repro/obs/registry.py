@@ -26,6 +26,7 @@ import threading
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
+from repro.obs import trace as _trace
 from repro.obs._flags import enabled
 
 __all__ = [
@@ -124,9 +125,17 @@ class Histogram:
     catches everything beyond the last bound.  Quantiles interpolate
     linearly inside the selected bucket, which is exact enough for the
     p50/p95/p99 dashboards this feeds (and costs no sample storage).
+
+    While tracing is active, each observation made inside a *sampled*
+    span leaves an **exemplar** — the observed value plus its trace id —
+    on the bucket it landed in (last write wins, so memory stays one slot
+    per bucket).  ``repro stats --trace-id`` then turns "the p99 got
+    worse" into "here is a whole request tree that slow".  Exemplars are
+    point-in-time debug state: excluded from snapshots/merges, rendered
+    only on request (OpenMetrics syntax).
     """
 
-    __slots__ = ("_lock", "buckets", "counts", "sum", "count")
+    __slots__ = ("_lock", "buckets", "counts", "sum", "count", "exemplars")
     kind = "histogram"
 
     def __init__(self, lock: threading.RLock, buckets: Iterable[float]):
@@ -138,6 +147,7 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # final slot is +Inf
         self.sum = 0.0
         self.count = 0
+        self.exemplars: dict[int, dict] = {}
 
     def observe(self, value: float) -> None:
         if not enabled():
@@ -148,6 +158,13 @@ class Histogram:
             self.counts[index] += 1
             self.sum += value
             self.count += 1
+        if _trace.tracing_active():
+            context = _trace.current_context()
+            if context is not None and getattr(context, "sampled", True):
+                with self._lock:
+                    self.exemplars[index] = {
+                        "value": value, "trace_id": context.trace_id,
+                    }
 
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile (q in [0, 1]) from bucket counts."""
@@ -366,8 +383,8 @@ class MetricsRegistry:
 
     # -- exposition -----------------------------------------------------------
 
-    def render_prometheus(self) -> str:
-        return render_prometheus([self])
+    def render_prometheus(self, exemplars: bool = False) -> str:
+        return render_prometheus([self], exemplars=exemplars)
 
 
 def diff_snapshots(before: dict, after: dict) -> dict:
@@ -442,12 +459,29 @@ def _format_labels(pairs) -> str:
     return "{" + body + "}"
 
 
-def render_prometheus(registries) -> str:
+def _exemplar_suffix(instrument, index: int) -> str:
+    """OpenMetrics exemplar tail for one bucket line, or ''."""
+    exemplar = instrument.exemplars.get(index)
+    if exemplar is None:
+        return ""
+    return (
+        f' # {{trace_id="{_escape_label_value(exemplar["trace_id"])}"}}'
+        f' {_format_value(exemplar["value"])}'
+    )
+
+
+def render_prometheus(registries, exemplars: bool = False) -> str:
     """Prometheus text exposition (format 0.0.4) for one or more registries.
 
     When multiple registries carry the same family name (e.g. a private
     service registry plus the process-global one), the first registry's
     family wins — callers keep family names disjoint by convention.
+
+    ``exemplars=True`` appends OpenMetrics-style exemplar tails
+    (``# {trace_id="..."} value``) to histogram bucket lines that have
+    one.  The default output stays plain 0.0.4 so render -> parse ->
+    re-render remains an identity (the parser tolerates and drops the
+    tails either way).
     """
     lines: list[str] = []
     seen: set[str] = set()
@@ -467,12 +501,17 @@ def render_prometheus(registries) -> str:
                     for index, bound in enumerate(instrument.buckets):
                         cumulative += instrument.counts[index]
                         bucket_pairs = pairs + [("le", _format_value(bound))]
+                        tail = _exemplar_suffix(instrument, index) if exemplars else ""
                         lines.append(
-                            f"{name}_bucket{_format_labels(bucket_pairs)} {cumulative}"
+                            f"{name}_bucket{_format_labels(bucket_pairs)} {cumulative}{tail}"
                         )
                     cumulative += instrument.counts[-1]
+                    tail = (
+                        _exemplar_suffix(instrument, len(instrument.buckets))
+                        if exemplars else ""
+                    )
                     lines.append(
-                        f"{name}_bucket{_format_labels(pairs + [('le', '+Inf')])} {cumulative}"
+                        f"{name}_bucket{_format_labels(pairs + [('le', '+Inf')])} {cumulative}{tail}"
                     )
                     lines.append(f"{name}_sum{_format_labels(pairs)} {_format_value(instrument.sum)}")
                     lines.append(f"{name}_count{_format_labels(pairs)} {cumulative}")

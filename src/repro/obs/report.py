@@ -11,23 +11,53 @@ import json
 from collections import defaultdict
 from pathlib import Path
 
-__all__ = ["read_trace", "summarize_spans", "render_trace_report"]
+__all__ = [
+    "TraceReadError",
+    "read_trace",
+    "summarize_spans",
+    "render_trace_report",
+    "render_trace_tree",
+]
+
+
+class TraceReadError(ValueError):
+    """The trace file is corrupt; names the offending line."""
 
 
 def read_trace(path) -> list[dict]:
-    """Parse a span JSONL file, skipping blank or malformed lines."""
+    """Parse a span JSONL file.
+
+    Same contract as the JSONL store backends: a truncated *final* line
+    (the writer was killed mid-append) is tolerated and dropped, but a
+    malformed line anywhere earlier is corruption and raises
+    :class:`TraceReadError` naming the line — silently skipping it would
+    quietly bias every percentile in the report.
+    """
     records: list[dict] = []
-    text = Path(path).read_text(encoding="utf-8")
-    for line in text.splitlines():
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    for index, line in enumerate(lines):
         line = line.strip()
         if not line:
             continue
         try:
             record = json.loads(line)
-        except json.JSONDecodeError:
-            continue
-        if isinstance(record, dict) and "name" in record and "duration_ms" in record:
-            records.append(record)
+        except json.JSONDecodeError as exc:
+            if index == last_content:
+                continue  # torn final append, not corruption
+            raise TraceReadError(
+                f"{path}: line {index + 1} is not valid JSON: {exc}"
+            ) from exc
+        if not (
+            isinstance(record, dict) and "name" in record and "duration_ms" in record
+        ):
+            raise TraceReadError(
+                f"{path}: line {index + 1} is not a span record"
+            )
+        records.append(record)
     return records
 
 
@@ -76,6 +106,57 @@ def _render_tree(record, children, lines, depth):
         _render_tree(child, children, lines, depth + 1)
 
 
+def _span_forest(records: list[dict]):
+    """``(roots, children)`` — spans whose parent is absent become roots."""
+    children: dict[str, list[dict]] = defaultdict(list)
+    roots: list[dict] = []
+    span_ids = {record.get("span") for record in records}
+    for record in records:
+        parent = record.get("parent")
+        if parent and parent in span_ids:
+            children[parent].append(record)
+        else:
+            roots.append(record)
+    return roots, children
+
+
+def render_trace_tree(records: list[dict], trace_id: str) -> str:
+    """Render exactly one trace's span tree (``repro stats --trace-id``).
+
+    ``trace_id`` may be a unique prefix, the same convenience the result
+    store gives record hashes; ambiguous or unknown ids raise
+    :class:`ValueError` listing what *is* there.
+    """
+    matching = [r for r in records if r.get("trace") == trace_id]
+    if not matching:
+        candidates = sorted({
+            str(r.get("trace"))
+            for r in records
+            if str(r.get("trace", "")).startswith(trace_id)
+        })
+        if len(candidates) > 1:
+            raise ValueError(
+                f"trace id prefix {trace_id!r} is ambiguous: "
+                f"{', '.join(candidates)}"
+            )
+        if not candidates:
+            known = sorted({str(r.get("trace")) for r in records})
+            preview = ", ".join(known[:5]) + ("…" if len(known) > 5 else "")
+            raise ValueError(
+                f"no trace {trace_id!r} in this file "
+                f"({len(known)} traces: {preview})"
+            )
+        trace_id = candidates[0]
+        matching = [r for r in records if r.get("trace") == trace_id]
+    roots, children = _span_forest(matching)
+    roots.sort(key=lambda r: r.get("ts", 0.0))
+    total = sum(float(r["duration_ms"]) for r in roots)
+    lines = [f"trace {trace_id}: {len(matching)} spans, {total:.3f} ms in roots"]
+    for root in roots:
+        _render_tree(root, children, lines, 1)
+    return "\n".join(lines) + "\n"
+
+
 def render_trace_report(records: list[dict], slowest: int = 1) -> str:
     """Human-readable report: per-name table plus the slowest trace tree(s)."""
     if not records:
@@ -95,15 +176,7 @@ def render_trace_report(records: list[dict], slowest: int = 1) -> str:
         )
 
     if slowest > 0:
-        children: dict[str, list[dict]] = defaultdict(list)
-        roots: list[dict] = []
-        span_ids = {record.get("span") for record in records}
-        for record in records:
-            parent = record.get("parent")
-            if parent and parent in span_ids:
-                children[parent].append(record)
-            else:
-                roots.append(record)
+        roots, children = _span_forest(records)
         roots.sort(key=lambda r: float(r["duration_ms"]), reverse=True)
         for root in roots[:slowest]:
             lines.append("")

@@ -1,0 +1,305 @@
+"""Declarative SLO / alert rules evaluated over recorded time series.
+
+A :class:`SloSpec` is a JSON-loadable list of rules; each rule names a
+metric, a window, and a bound, and evaluates against a
+:class:`~repro.obs.timeseries.TimeSeriesRecorder` to a
+:class:`RuleStatus`.  The serve layer attaches a spec to its recorder
+(``repro serve --slo spec.json``): every sample re-evaluates the rules,
+``GET /healthz`` degrades to 503 while any rule fires (naming it), and
+``GET /alerts`` lists every status.
+
+Rule kinds (``kind`` field):
+
+``quantile_max``
+    Sliding-window histogram quantile must stay <= ``max`` (latency SLOs:
+    ``{"metric": "repro_http_request_seconds", "q": 0.99, "max": 0.25}``).
+``rate_max`` / ``rate_min``
+    Windowed counter rate ceiling / floor (error-rate ceilings, traffic
+    liveness floors).
+``gauge_max`` / ``gauge_min``
+    Latest gauge bound (queue-depth saturation).
+``ratio_max``
+    Windowed rate of ``metric`` over rate of ``denominator`` must stay <=
+    ``max`` (classic error *ratio*).
+``burn_rate``
+    Multi-window error-budget burn: the error ratio must exceed
+    ``factor * budget`` in **both** the short and the long window to fire
+    — fast enough to page on a real burn, immune to one-sample blips.
+
+Label selectors (``labels`` / ``denominator_labels``) are regex-fullmatch
+maps, so ``{"status": "5.."}`` selects the whole 5xx class.  Rules with
+insufficient recorded history report ``ok`` with ``data: false`` — a
+just-started service is not degraded, it is unknown.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["RuleStatus", "SloRule", "SloSpec", "SloSpecError"]
+
+_KINDS = (
+    "quantile_max",
+    "rate_max",
+    "rate_min",
+    "gauge_max",
+    "gauge_min",
+    "ratio_max",
+    "burn_rate",
+)
+
+
+class SloSpecError(ValueError):
+    """The SLO spec file/dict is malformed; names the offending rule."""
+
+
+@dataclass
+class RuleStatus:
+    """One rule's latest evaluation."""
+
+    name: str
+    kind: str
+    ok: bool
+    value: float | None
+    threshold: float
+    data: bool  # enough recorded history to evaluate?
+    detail: str = ""
+
+    @property
+    def firing(self) -> bool:
+        """A rule fires only on real data — no data means unknown, not bad."""
+        return self.data and not self.ok
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "ok": self.ok,
+            "firing": self.firing,
+            "value": self.value,
+            "threshold": self.threshold,
+            "data": self.data,
+            "detail": self.detail,
+        }
+
+
+def _require(condition: bool, rule_name: str, message: str) -> None:
+    if not condition:
+        raise SloSpecError(f"rule {rule_name!r}: {message}")
+
+
+@dataclass
+class SloRule:
+    """One declarative rule (see module docstring for the kinds)."""
+
+    name: str
+    kind: str
+    metric: str
+    labels: dict = field(default_factory=dict)
+    window_seconds: float = 60.0
+    # quantile_max
+    q: float = 0.99
+    # *_max / *_min bounds
+    max: float | None = None
+    min: float | None = None
+    # ratio_max / burn_rate
+    denominator: str | None = None
+    denominator_labels: dict = field(default_factory=dict)
+    # burn_rate
+    budget: float | None = None
+    factor: float = 14.4
+    short_window_seconds: float = 60.0
+    long_window_seconds: float = 3600.0
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SloRule":
+        if not isinstance(payload, dict):
+            raise SloSpecError(f"rule must be an object, got {type(payload).__name__}")
+        name = payload.get("name")
+        _require(isinstance(name, str) and bool(name), str(name), "needs a non-empty 'name'")
+        kind = payload.get("kind")
+        _require(kind in _KINDS, name, f"unknown kind {kind!r} (valid: {', '.join(_KINDS)})")
+        metric = payload.get("metric")
+        _require(isinstance(metric, str) and bool(metric), name, "needs a 'metric' name")
+        known = {
+            "name", "kind", "metric", "labels", "window_seconds", "q", "max",
+            "min", "denominator", "denominator_labels", "budget", "factor",
+            "short_window_seconds", "long_window_seconds",
+        }
+        unknown = set(payload) - known
+        _require(not unknown, name, f"unknown fields {sorted(unknown)}")
+        rule = cls(
+            name=name,
+            kind=kind,
+            metric=metric,
+            labels=dict(payload.get("labels") or {}),
+            window_seconds=float(payload.get("window_seconds", 60.0)),
+            q=float(payload.get("q", 0.99)),
+            max=None if payload.get("max") is None else float(payload["max"]),
+            min=None if payload.get("min") is None else float(payload["min"]),
+            denominator=payload.get("denominator"),
+            denominator_labels=dict(payload.get("denominator_labels") or {}),
+            budget=None if payload.get("budget") is None else float(payload["budget"]),
+            factor=float(payload.get("factor", 14.4)),
+            short_window_seconds=float(payload.get("short_window_seconds", 60.0)),
+            long_window_seconds=float(payload.get("long_window_seconds", 3600.0)),
+        )
+        if kind in ("quantile_max", "rate_max", "gauge_max", "ratio_max"):
+            _require(rule.max is not None, name, f"kind {kind} needs 'max'")
+        if kind in ("rate_min", "gauge_min"):
+            _require(rule.min is not None, name, f"kind {kind} needs 'min'")
+        if kind == "quantile_max":
+            _require(0.0 < rule.q < 1.0, name, "'q' must be in (0, 1)")
+        if kind in ("ratio_max", "burn_rate"):
+            _require(bool(rule.denominator), name, f"kind {kind} needs 'denominator'")
+        if kind == "burn_rate":
+            _require(rule.budget is not None and rule.budget > 0, name,
+                     "kind burn_rate needs a positive 'budget'")
+        return rule
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, recorder) -> RuleStatus:
+        handler = getattr(self, f"_eval_{self.kind}")
+        return handler(recorder)
+
+    def _status(self, ok: bool, value, threshold, data: bool, detail: str) -> RuleStatus:
+        return RuleStatus(
+            name=self.name, kind=self.kind, ok=ok,
+            value=None if value is None else float(value),
+            threshold=float(threshold), data=data, detail=detail,
+        )
+
+    def _no_data(self, threshold) -> RuleStatus:
+        return self._status(True, None, threshold, False, "insufficient history")
+
+    def _eval_quantile_max(self, recorder) -> RuleStatus:
+        value = recorder.quantile(
+            self.metric, self.q, self.window_seconds, **self.labels
+        )
+        if value is None:
+            return self._no_data(self.max)
+        ok = value <= self.max
+        return self._status(
+            ok, value, self.max, True,
+            f"p{self.q * 100:g} over {self.window_seconds:g}s = {value:.6g} "
+            f"({'<=' if ok else '>'} {self.max:g})",
+        )
+
+    def _rate(self, recorder):
+        return recorder.counter_rate(self.metric, self.window_seconds, **self.labels)
+
+    def _eval_rate_max(self, recorder) -> RuleStatus:
+        value = self._rate(recorder)
+        if value is None:
+            return self._no_data(self.max)
+        ok = value <= self.max
+        return self._status(
+            ok, value, self.max, True,
+            f"rate over {self.window_seconds:g}s = {value:.6g}/s "
+            f"({'<=' if ok else '>'} {self.max:g})",
+        )
+
+    def _eval_rate_min(self, recorder) -> RuleStatus:
+        value = self._rate(recorder)
+        if value is None:
+            return self._no_data(self.min)
+        ok = value >= self.min
+        return self._status(
+            ok, value, self.min, True,
+            f"rate over {self.window_seconds:g}s = {value:.6g}/s "
+            f"({'>=' if ok else '<'} {self.min:g})",
+        )
+
+    def _eval_gauge_max(self, recorder) -> RuleStatus:
+        value = recorder.gauge(self.metric, **self.labels)
+        if value is None:
+            return self._no_data(self.max)
+        ok = value <= self.max
+        return self._status(
+            ok, value, self.max, True,
+            f"gauge = {value:.6g} ({'<=' if ok else '>'} {self.max:g})",
+        )
+
+    def _eval_gauge_min(self, recorder) -> RuleStatus:
+        value = recorder.gauge(self.metric, **self.labels)
+        if value is None:
+            return self._no_data(self.min)
+        ok = value >= self.min
+        return self._status(
+            ok, value, self.min, True,
+            f"gauge = {value:.6g} ({'>=' if ok else '<'} {self.min:g})",
+        )
+
+    def _ratio(self, recorder, window_seconds: float) -> float | None:
+        numerator = recorder.counter_delta(self.metric, window_seconds, **self.labels)
+        denominator = recorder.counter_delta(
+            self.denominator, window_seconds, **self.denominator_labels
+        )
+        if denominator is None or denominator <= 0:
+            return None  # no traffic: a ratio over zero events is undefined
+        return (numerator or 0.0) / denominator
+
+    def _eval_ratio_max(self, recorder) -> RuleStatus:
+        value = self._ratio(recorder, self.window_seconds)
+        if value is None:
+            return self._no_data(self.max)
+        ok = value <= self.max
+        return self._status(
+            ok, value, self.max, True,
+            f"ratio over {self.window_seconds:g}s = {value:.6g} "
+            f"({'<=' if ok else '>'} {self.max:g})",
+        )
+
+    def _eval_burn_rate(self, recorder) -> RuleStatus:
+        threshold = self.factor * self.budget
+        short = self._ratio(recorder, self.short_window_seconds)
+        long = self._ratio(recorder, self.long_window_seconds)
+        if short is None or long is None:
+            return self._no_data(threshold)
+        # Both windows must burn: the short one gives detection speed, the
+        # long one rejects single-sample blips.
+        ok = not (short > threshold and long > threshold)
+        return self._status(
+            ok, short, threshold, True,
+            f"error ratio short/{self.short_window_seconds:g}s = {short:.6g}, "
+            f"long/{self.long_window_seconds:g}s = {long:.6g} "
+            f"(budget x factor = {threshold:.6g})",
+        )
+
+
+@dataclass
+class SloSpec:
+    """An ordered list of rules loaded from JSON."""
+
+    rules: list
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SloSpec":
+        if not isinstance(payload, dict) or "rules" not in payload:
+            raise SloSpecError("spec must be an object with a 'rules' list")
+        raw_rules = payload["rules"]
+        if not isinstance(raw_rules, list) or not raw_rules:
+            raise SloSpecError("'rules' must be a non-empty list")
+        unknown = set(payload) - {"rules", "name", "description"}
+        if unknown:
+            raise SloSpecError(f"unknown spec fields {sorted(unknown)}")
+        rules = [SloRule.from_dict(rule) for rule in raw_rules]
+        names = [rule.name for rule in rules]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SloSpecError(f"duplicate rule names {sorted(duplicates)}")
+        return cls(rules=rules)
+
+    @classmethod
+    def from_json(cls, path) -> "SloSpec":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SloSpecError(f"could not read SLO spec {path}: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def evaluate(self, recorder) -> list[RuleStatus]:
+        return [rule.evaluate(recorder) for rule in self.rules]

@@ -17,6 +17,16 @@ or ``REPRO_TRACE=<path>``) *and* observability is enabled; otherwise
 :func:`span` returns a shared no-op object and costs one attribute
 check.  Records are flat dicts; :class:`JsonlTraceSink` appends them as
 one JSON object per line for `repro stats`.
+
+**Head-based sampling** keeps ``--trace`` viable at production qps:
+``REPRO_TRACE_SAMPLE=<p>`` (or :func:`configure_sampling`) makes the
+keep/drop decision once per trace, at the root span, from a hash of the
+trace id — deterministic, so every process in a fleet agrees on the same
+ids and sampled trees stay complete.  Child spans inherit the decision
+through :class:`SpanContext`.  The escape hatch is *always-keep-slow*:
+any span whose duration exceeds ``REPRO_TRACE_SLOW_MS`` (default 100) is
+written even inside a dropped trace, tagged ``sampled: false``, so tail
+latency outliers are never invisible.
 """
 
 from __future__ import annotations
@@ -39,6 +49,9 @@ __all__ = [
     "current_context",
     "configure_tracing",
     "tracing_active",
+    "configure_sampling",
+    "sampling",
+    "trace_sampled",
     "new_trace_id",
     "JsonlTraceSink",
 ]
@@ -47,6 +60,10 @@ __all__ = [
 class SpanContext(NamedTuple):
     trace_id: str
     span_id: str
+    # Head-based sampling decision, made at the root span and inherited by
+    # every child (and across the batcher's thread hop, which ships the
+    # whole context).
+    sampled: bool = True
 
 
 _CURRENT: ContextVar[SpanContext | None] = ContextVar("repro_obs_span", default=None)
@@ -100,6 +117,60 @@ def tracing_active() -> bool:
     return _TRACER.active
 
 
+# ------------------------------------------------------------------- sampling
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+_sample_probability = min(max(_env_float("REPRO_TRACE_SAMPLE", 1.0), 0.0), 1.0)
+_slow_threshold_ms = _env_float("REPRO_TRACE_SLOW_MS", 100.0)
+
+
+def configure_sampling(
+    probability: float | None = None, slow_ms: float | None = None
+) -> tuple[float, float]:
+    """Set the head-sampling probability and/or the always-keep-slow
+    threshold (milliseconds); returns the previous ``(probability,
+    slow_ms)`` pair.  ``probability=1`` keeps every trace (the default),
+    ``0`` keeps none (slow spans still surface)."""
+    global _sample_probability, _slow_threshold_ms
+    previous = (_sample_probability, _slow_threshold_ms)
+    if probability is not None:
+        _sample_probability = min(max(float(probability), 0.0), 1.0)
+    if slow_ms is not None:
+        _slow_threshold_ms = float(slow_ms)
+    return previous
+
+
+def sampling() -> tuple[float, float]:
+    """The active ``(probability, slow_ms)`` sampling configuration."""
+    return (_sample_probability, _slow_threshold_ms)
+
+
+def trace_sampled(trace_id: str) -> bool:
+    """The head-sampling decision for a trace id.
+
+    Deterministic — a hash of the id, not an RNG draw — so concurrent
+    processes keep or drop the *same* traces (federated trees stay whole)
+    and nothing here perturbs the repo's seeded RNG streams.
+    """
+    if _sample_probability >= 1.0:
+        return True
+    if _sample_probability <= 0.0:
+        return False
+    try:
+        fraction = int(trace_id[:8], 16) / float(1 << 32)
+    except ValueError:
+        fraction = 0.0  # unparseable ids (caller-supplied) are always kept
+    return fraction < _sample_probability
+
+
 class JsonlTraceSink:
     """Appends span records to a JSONL file, one object per line."""
 
@@ -149,9 +220,11 @@ class Span:
         if parent is not None:
             trace_id = parent.trace_id
             self.parent_id = parent.span_id
+            sampled = getattr(parent, "sampled", True)
         else:
             trace_id = self._trace_id or new_trace_id()
-        self.context = SpanContext(trace_id, new_trace_id())
+            sampled = trace_sampled(trace_id)
+        self.context = SpanContext(trace_id, new_trace_id(), sampled)
         self._token = _CURRENT.set(self.context)
         self._wall_start = time.time()
         self._perf_start = time.perf_counter()
@@ -160,15 +233,22 @@ class Span:
     def __exit__(self, exc_type, exc, tb):
         duration = time.perf_counter() - self._perf_start
         _CURRENT.reset(self._token)
+        duration_ms = duration * 1000.0
+        # Head sampling: an unsampled trace's spans are dropped here —
+        # unless this one is slow enough to be a tail-latency exemplar.
+        if not self.context.sampled and duration_ms < _slow_threshold_ms:
+            return False
         record = {
             "trace": self.context.trace_id,
             "span": self.context.span_id,
             "parent": self.parent_id,
             "name": self.name,
             "ts": self._wall_start,
-            "duration_ms": duration * 1000.0,
+            "duration_ms": duration_ms,
             "thread": threading.current_thread().name,
         }
+        if not self.context.sampled:
+            record["sampled"] = False  # kept only because it crossed slow_ms
         if exc_type is not None:
             record["error"] = exc_type.__name__
         if self.attrs:
@@ -228,19 +308,26 @@ def emit_span(
     if parent is not None:
         trace = parent.trace_id
         parent_id = parent.span_id
+        sampled = getattr(parent, "sampled", True)
     else:
         trace = trace_id or new_trace_id()
         parent_id = None
-    context = SpanContext(trace, new_trace_id())
+        sampled = trace_sampled(trace)
+    context = SpanContext(trace, new_trace_id(), sampled)
+    duration_ms = seconds * 1000.0
+    if not sampled and duration_ms < _slow_threshold_ms:
+        return context
     record = {
         "trace": context.trace_id,
         "span": context.span_id,
         "parent": parent_id,
         "name": name,
         "ts": time.time() - seconds,
-        "duration_ms": seconds * 1000.0,
+        "duration_ms": duration_ms,
         "thread": threading.current_thread().name,
     }
+    if not sampled:
+        record["sampled"] = False
     if attrs:
         record["attrs"] = _clean_attrs(attrs)
     _TRACER.emit(record)

@@ -345,6 +345,16 @@ class MicroBatcher:
             )
 
     # ----------------------------------------------------------------- stats
+    def saturation(self) -> dict:
+        """Queue fill state for ``GET /healthz`` (1.0 = submits rejected)."""
+        with self._condition:
+            depth = len(self._queue)
+        return {
+            "queue_depth": depth,
+            "max_queue": self.max_queue,
+            "saturation": depth / self.max_queue,
+        }
+
     def stats(self) -> dict:
         """Coalescing tallies for the ``/stats`` endpoint."""
         flushes = max(1, self.n_flushes)

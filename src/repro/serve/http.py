@@ -19,7 +19,14 @@ dependencies) exposing:
 * ``GET /stats`` — service- and batcher-wide counters;
 * ``GET /metrics`` — the :mod:`repro.obs` registries in Prometheus text
   exposition format (the service registry plus the process-global one);
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — *real* health, not a constant: per-graph session
+  liveness (anchoring solve completed), batcher queue saturation, and the
+  attached SLO rules — 200 while everything holds, 503 naming the
+  problems while anything is degraded (so a load balancer drains exactly
+  the workers that are actually in trouble);
+* ``GET /alerts`` — every SLO rule's latest :class:`RuleStatus`
+  (``repro serve --slo spec.json`` attaches the spec to a background
+  :class:`~repro.obs.timeseries.TimeSeriesRecorder`).
 
 Every response carries an ``X-Repro-Trace`` header with the request's trace
 id; when tracing is configured (``repro serve --trace``), the request span
@@ -56,24 +63,62 @@ class InferenceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
+    # Queue saturation past this fraction degrades /healthz: submits are
+    # about to be rejected, a balancer should stop sending work here.
+    queue_degraded_fraction = 0.9
+
     def __init__(
         self,
         address: tuple[str, int],
         service: InferenceService,
         batcher: MicroBatcher | None = None,
         log_json: bool = False,
+        recorder=None,
     ) -> None:
         super().__init__(address, ServeHandler)
         self.service = service
         self.batcher = batcher
         self.log_json = log_json
+        # A TimeSeriesRecorder (usually with an SloSpec attached) backing
+        # /healthz degradation and /alerts; owned by whoever built it.
+        self.recorder = recorder
 
     def close(self) -> None:
-        """Shut down the listener and the batcher (drains pending work)."""
+        """Shut down the listener, the batcher, and the SLO recorder."""
         self.shutdown()
         self.server_close()
         if self.batcher is not None:
             self.batcher.close()
+        if self.recorder is not None:
+            self.recorder.stop()
+
+    def health(self) -> tuple[dict, bool]:
+        """``(payload, ok)`` composing every degradation signal."""
+        problems: list[str] = []
+        graphs = self.service.health()
+        for name, state in sorted(graphs.items()):
+            if not state["live"]:
+                problems.append(f"graph {name!r} has no belief snapshot yet")
+        payload: dict = {"graphs": graphs}
+        if self.batcher is not None:
+            queue = self.batcher.saturation()
+            payload["batcher"] = queue
+            if queue["saturation"] >= self.queue_degraded_fraction:
+                problems.append(
+                    f"batcher queue saturated "
+                    f"({queue['queue_depth']}/{queue['max_queue']})"
+                )
+        if self.recorder is not None:
+            firing = self.recorder.firing()
+            payload["slo"] = {
+                "rules": len(self.recorder.statuses()),
+                "firing": [status.name for status in firing],
+            }
+            for status in firing:
+                problems.append(f"SLO {status.name}: {status.detail}")
+        payload["problems"] = problems
+        payload["ok"] = not problems
+        return payload, not problems
 
 
 class ServeHandler(BaseHTTPRequestHandler):
@@ -188,7 +233,20 @@ class ServeHandler(BaseHTTPRequestHandler):
         service = self.server.service
         if method == "GET":
             if parts == ["healthz"]:
-                self._send_json({"ok": True, "graphs": service.graph_names()})
+                payload, ok = self.server.health()
+                self._send_json(payload, status=200 if ok else 503)
+                return True
+            if parts == ["alerts"]:
+                recorder = self.server.recorder
+                if recorder is None:
+                    self._send_json({"enabled": False, "alerts": []})
+                    return True
+                statuses = recorder.statuses()
+                self._send_json({
+                    "enabled": True,
+                    "firing": [s.name for s in statuses if s.firing],
+                    "alerts": [s.to_dict() for s in statuses],
+                })
                 return True
             if parts == ["stats"]:
                 stats = service.stats()
@@ -314,6 +372,9 @@ def make_server(
     port: int = 8151,
     batcher: MicroBatcher | None = None,
     log_json: bool = False,
+    recorder=None,
 ) -> InferenceHTTPServer:
     """Bind the serving endpoint (``port=0`` picks a free port for tests)."""
-    return InferenceHTTPServer((host, port), service, batcher, log_json=log_json)
+    return InferenceHTTPServer(
+        (host, port), service, batcher, log_json=log_json, recorder=recorder
+    )

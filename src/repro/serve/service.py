@@ -729,6 +729,34 @@ class InferenceService:
                 n_coalesced=len(deltas),
             )
 
+    # --------------------------------------------------------------- health
+    def health(self) -> dict:
+        """Per-graph liveness for ``GET /healthz``.
+
+        A graph is *live* once its session holds a belief matrix (the
+        anchoring solve completed and queries can be answered).  The
+        session lock is probed, never waited on: a session mid-propagation
+        is busy, not dead, and the health probe must answer immediately
+        either way.
+        """
+        with self._registry_lock:
+            served_list = list(self._graphs.values())
+        graphs = {}
+        for served in served_list:
+            locked = served.session.lock.acquire(blocking=False)
+            try:
+                graphs[served.name] = {
+                    "live": served.session.last_result is not None,
+                    "busy": not locked,
+                    "graph_version": served.graph_version,
+                    "belief_version": served.belief_version,
+                    "staleness": served.staleness(),
+                }
+            finally:
+                if locked:
+                    served.session.lock.release()
+        return graphs
+
     # ---------------------------------------------------------------- stats
     def stats(self) -> dict:
         """Service-wide stats: per-graph info plus global tallies."""

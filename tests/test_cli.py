@@ -632,3 +632,180 @@ class TestServeCommand:
                 server.shutdown()
                 server.server_close()
                 thread.join(timeout=5)
+
+    def test_parser_accepts_observability_flags(self):
+        args = build_parser().parse_args([
+            "serve", "graph.npz", "--trace-sample", "0.1",
+            "--slo", "slo.json", "--slo-interval", "0.5",
+        ])
+        assert args.trace_sample == 0.1
+        assert args.slo == "slo.json"
+        assert args.slo_interval == 0.5
+
+    def test_trace_sample_out_of_range(self, graph_file, capsys):
+        exit_code = main([
+            "serve", str(graph_file), "--port", "0", "--trace-sample", "1.5",
+        ])
+        assert exit_code == 2
+        assert "--trace-sample must be in [0, 1]" in capsys.readouterr().err
+
+    def test_slo_spec_file_missing(self, graph_file, capsys):
+        exit_code = main([
+            "serve", str(graph_file), "--port", "0", "--slo", "missing.json",
+        ])
+        assert exit_code == 2
+        assert "SLO spec file not found" in capsys.readouterr().err
+
+    def test_slo_spec_invalid_rule(self, graph_file, tmp_path, capsys):
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({"rules": [
+            {"name": "bad", "kind": "nope", "metric": "m"},
+        ]}))
+        exit_code = main([
+            "serve", str(graph_file), "--port", "0", "--slo", str(spec),
+        ])
+        assert exit_code == 2
+        assert "unknown kind" in capsys.readouterr().err
+
+
+class TestTopCommand:
+    @pytest.fixture()
+    def metrics_servers(self):
+        """Two /metrics endpoints backed by mutable registries."""
+        import http.server
+        import threading
+
+        from repro import obs
+
+        stubs = []
+        for _ in range(2):
+            registry = obs.MetricsRegistry()
+
+            def make_handler(reg):
+                class Handler(http.server.BaseHTTPRequestHandler):
+                    def do_GET(self):
+                        body = reg.render_prometheus().encode()
+                        self.send_response(200)
+                        self.send_header("Content-Length", str(len(body)))
+                        self.end_headers()
+                        self.wfile.write(body)
+
+                    def log_message(self, *args):
+                        pass
+
+                return Handler
+
+            server = http.server.HTTPServer(
+                ("127.0.0.1", 0), make_handler(registry)
+            )
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            stubs.append((server, thread, registry))
+        try:
+            yield stubs
+        finally:
+            for server, thread, _ in stubs:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5)
+
+    def test_parser_accepts_top(self):
+        args = build_parser().parse_args([
+            "top", ":8151", ":8152", "--interval", "0.5", "--once", "--json",
+        ])
+        assert args.command == "top"
+        assert args.endpoints == [":8151", ":8152"]
+        assert args.once and args.as_json
+
+    def test_json_requires_once(self, capsys):
+        assert main(["top", ":8151", "--json"]) == 2
+        assert "--json needs --once" in capsys.readouterr().err
+
+    def test_duplicate_endpoints_fail_cleanly(self, capsys):
+        assert main(["top", ":8151", "127.0.0.1:8151", "--once"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_once_json_federates_worker_counters(self, metrics_servers, capsys):
+        from repro.obs import top as obs_top
+
+        for n, (_, _, registry) in zip((30, 12), metrics_servers):
+            registry.counter(obs_top.QUERIES, "Queries.", graph="g").inc(n)
+        endpoints = [
+            f":{server.server_address[1]}" for server, _, _ in metrics_servers
+        ]
+        exit_code = main([
+            "top", *endpoints, "--once", "--json", "--interval", "0.05",
+        ])
+        assert exit_code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["instances_up"] == 2
+        per_instance = sum(
+            row["queries_total"] for row in summary["instances"].values()
+        )
+        assert summary["fleet"]["queries_total"] == per_instance == 42
+
+    def test_once_exits_nonzero_when_fleet_down(self, capsys):
+        exit_code = main([
+            "top", ":1", "--once", "--json",
+            "--interval", "0.05", "--timeout", "0.2",
+        ])
+        assert exit_code == 1
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["instances_up"] == 0
+
+    def test_once_renders_dashboard_without_json(self, metrics_servers, capsys):
+        endpoint = f":{metrics_servers[0][0].server_address[1]}"
+        exit_code = main(["top", endpoint, "--once", "--interval", "0.05"])
+        assert exit_code == 0
+        assert "repro top — 1/1 instances up" in capsys.readouterr().out
+
+
+class TestStatsTraceId:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        """Two traces: a two-span tree and a single root span."""
+        path = tmp_path / "trace.jsonl"
+        records = [
+            {"trace": "ab12cd34", "span": "s1", "parent": None,
+             "name": "serve.query", "ts": 10.0, "duration_ms": 5.0,
+             "thread": "main"},
+            {"trace": "ab12cd34", "span": "s2", "parent": "s1",
+             "name": "propagate", "ts": 10.001, "duration_ms": 3.0,
+             "thread": "main"},
+            {"trace": "ff990011", "span": "s3", "parent": None,
+             "name": "serve.query", "ts": 11.0, "duration_ms": 1.0,
+             "thread": "main"},
+        ]
+        path.write_text(
+            "".join(json.dumps(record) + "\n" for record in records)
+        )
+        return path
+
+    def test_trace_id_renders_span_tree(self, trace_file, capsys):
+        exit_code = main(["stats", str(trace_file), "--trace-id", "ab12cd34"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "serve.query" in output
+        assert "propagate" in output
+        assert "ff990011" not in output
+
+    def test_trace_id_prefix_match(self, trace_file, capsys):
+        exit_code = main(["stats", str(trace_file), "--trace-id", "ff99"])
+        assert exit_code == 0
+        assert "ff990011" in capsys.readouterr().out
+
+    def test_unknown_trace_id_exits_cleanly(self, trace_file, capsys):
+        exit_code = main(["stats", str(trace_file), "--trace-id", "deadbeef"])
+        assert exit_code == 2
+        assert "deadbeef" in capsys.readouterr().err
+
+    def test_mid_file_corruption_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "{broken\n"
+            + json.dumps({"trace": "t", "span": "s", "parent": None,
+                          "name": "n", "ts": 0.0, "duration_ms": 1.0}) + "\n"
+        )
+        exit_code = main(["stats", str(path), "--trace-id", "t"])
+        assert exit_code == 2
+        assert "line 1" in capsys.readouterr().err

@@ -1,0 +1,228 @@
+"""Prometheus text parsing, round-trip identity, and federation tests."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.scrape import (
+    MetricsScraper,
+    PrometheusParseError,
+    federate_snapshots,
+    label_snapshot,
+    normalize_endpoint,
+    parse_prometheus,
+    scrape_source,
+)
+from repro.obs.timeseries import counter_total
+
+
+def build_registry() -> obs.MetricsRegistry:
+    """One registry exercising every family kind and the escaping paths."""
+    registry = obs.MetricsRegistry()
+    registry.counter("req_total", "Requests.", method="GET", status="200").inc(7)
+    registry.counter("req_total", "Requests.", method="POST", status="500").inc(2)
+    registry.counter("plain_total", "No labels.").inc(11)
+    registry.gauge("depth", "Queue depth.", queue="q\\1").set(42.5)
+    histogram = registry.histogram(
+        "lat_seconds", "Latency.", buckets=[0.1, 1.0], path='/a"b'
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(9.0)
+    return registry
+
+
+class TestRoundTrip:
+    def test_render_parse_rerender_identity(self):
+        registry = build_registry()
+        text = registry.render_prometheus()
+        rebuilt = obs.MetricsRegistry()
+        rebuilt.merge_snapshot(parse_prometheus(text))
+        assert rebuilt.render_prometheus() == text
+
+    def test_label_escaping_survives(self):
+        registry = obs.MetricsRegistry()
+        ugly = 'quote " backslash \\ newline \n done'
+        registry.counter("c_total", "", label=ugly).inc()
+        snapshot = parse_prometheus(registry.render_prometheus())
+        children = snapshot["families"]["c_total"]["children"]
+        assert children[0][0] == [["label", ugly]]
+
+    def test_histogram_buckets_decumulate(self):
+        registry = obs.MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "", buckets=[0.1, 1.0])
+        for value in (0.05, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snapshot = parse_prometheus(registry.render_prometheus())
+        family = snapshot["families"]["h_seconds"]
+        assert family["buckets"] == [0.1, 1.0]
+        _, payload = family["children"][0]
+        assert payload["counts"] == [2, 1, 1]
+        assert payload["count"] == 4
+        assert payload["sum"] == pytest.approx(5.6)
+
+    def test_special_values_round_trip(self):
+        registry = obs.MetricsRegistry()
+        registry.gauge("inf_gauge", "").set(float("inf"))
+        registry.gauge("nan_gauge", "").set(float("nan"))
+        snapshot = parse_prometheus(registry.render_prometheus())
+        assert snapshot["families"]["inf_gauge"]["children"][0][1]["value"] == float("inf")
+        assert math.isnan(snapshot["families"]["nan_gauge"]["children"][0][1]["value"])
+
+    def test_exemplar_suffix_tolerated_and_dropped(self):
+        text = (
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="0.1"} 1 # {trace_id="abc"} 0.05\n'
+            'h_seconds_bucket{le="+Inf"} 1\n'
+            "h_seconds_sum 0.05\n"
+            "h_seconds_count 1\n"
+        )
+        family = parse_prometheus(text)["families"]["h_seconds"]
+        assert family["children"][0][1]["counts"] == [1, 0]
+
+
+class TestParserErrors:
+    def test_sample_without_type_raises(self):
+        with pytest.raises(PrometheusParseError, match="line 1"):
+            parse_prometheus("mystery_total 3\n")
+
+    def test_malformed_label_block_raises(self):
+        with pytest.raises(PrometheusParseError, match="line 2"):
+            parse_prometheus(
+                "# TYPE c_total counter\n"
+                'c_total{bad="unterminated} 3\n'
+            )
+
+    def test_unsupported_kind_raises(self):
+        with pytest.raises(PrometheusParseError, match="unsupported"):
+            parse_prometheus("# TYPE s summary\n")
+
+    def test_histogram_missing_inf_bucket_raises(self):
+        with pytest.raises(PrometheusParseError, match=r"\+Inf"):
+            parse_prometheus(
+                "# TYPE h histogram\n"
+                'h_bucket{le="0.1"} 1\n'
+                "h_sum 0.05\n"
+                "h_count 1\n"
+            )
+
+    def test_decreasing_cumulative_raises(self):
+        with pytest.raises(PrometheusParseError, match="decrease"):
+            parse_prometheus(
+                "# TYPE h histogram\n"
+                'h_bucket{le="0.1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1\n"
+                "h_count 3\n"
+            )
+
+    def test_unparseable_value_raises(self):
+        with pytest.raises(PrometheusParseError, match="unparseable"):
+            parse_prometheus("# TYPE c_total counter\nc_total wat\n")
+
+
+class TestFederation:
+    def _worker_snapshot(self, n_queries: int) -> dict:
+        registry = obs.MetricsRegistry()
+        registry.counter("q_total", "Queries.", graph="g").inc(n_queries)
+        registry.histogram("lat_seconds", "", buckets=[0.1, 1.0]).observe(0.05)
+        return registry.snapshot()
+
+    def test_label_snapshot_joins_instance(self):
+        labeled = label_snapshot(self._worker_snapshot(3), instance="w1")
+        key, _ = labeled["families"]["q_total"]["children"][0]
+        assert ["instance", "w1"] in key
+        assert ["graph", "g"] in key
+
+    def test_federated_counters_sum_across_instances(self):
+        labeled = [
+            label_snapshot(self._worker_snapshot(n), instance=f"w{i}")
+            for i, n in enumerate((3, 5, 9))
+        ]
+        federated = federate_snapshots(labeled).snapshot()
+        assert counter_total(federated, "q_total") == 17
+        # Per-instance series stay distinct.
+        assert counter_total(federated, "q_total", {"instance": "w1"}) == 5
+        # Histograms sum too: one observation per worker.
+        family = federated["families"]["lat_seconds"]
+        assert sum(child[1]["count"] for child in family["children"]) == 3
+
+    def test_federation_matches_sum_of_parts_through_text(self):
+        # The full fleet path: render each worker as text, parse, label,
+        # merge — the federated total equals the arithmetic sum.
+        texts = []
+        totals = 0
+        for index, n in enumerate((7, 13)):
+            registry = obs.MetricsRegistry()
+            registry.counter("q_total", "Queries.").inc(n)
+            totals += n
+            texts.append(registry.render_prometheus())
+        labeled = [
+            label_snapshot(parse_prometheus(text), instance=f"w{i}")
+            for i, text in enumerate(texts)
+        ]
+        assert counter_total(
+            federate_snapshots(labeled).snapshot(), "q_total"
+        ) == totals
+
+
+class TestEndpoints:
+    def test_normalize_endpoint_variants(self):
+        assert normalize_endpoint(":8151") == (
+            "127.0.0.1:8151", "http://127.0.0.1:8151/metrics"
+        )
+        assert normalize_endpoint("host:9") == ("host:9", "http://host:9/metrics")
+        assert normalize_endpoint("http://h:1/custom") == (
+            "h:1", "http://h:1/custom"
+        )
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MetricsScraper([":8151", "127.0.0.1:8151"])
+        with pytest.raises(ValueError, match="at least one"):
+            MetricsScraper([])
+
+    def test_scrape_reports_down_instance_without_raising(self):
+        scraper = MetricsScraper([":1"], timeout=0.1)  # port 1: refused
+        result = scraper.scrape()
+        state = result["instances"]["127.0.0.1:1"]
+        assert state["up"] is False
+        assert state["error"]
+        assert result["snapshot"] == {"families": {}}
+
+    def test_scrape_against_live_server(self):
+        import http.server
+
+        registry = obs.MetricsRegistry()
+        registry.counter("q_total", "Queries.").inc(21)
+        body = registry.render_prometheus().encode()
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.HTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+        try:
+            source = scrape_source([f":{port}"])
+            snapshot = source()
+            assert counter_total(snapshot, "q_total") == 21
+            assert counter_total(
+                snapshot, "q_total", {"instance": f"127.0.0.1:{port}"}
+            ) == 21
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,221 @@
+"""SLO rule evaluation and spec validation tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.slo import SloRule, SloSpec, SloSpecError
+from repro.obs.timeseries import TimeSeriesRecorder, registry_source
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def registry():
+    with obs.use_registry() as reg:
+        yield reg
+
+
+@pytest.fixture()
+def recorder(registry):
+    clock = FakeClock()
+    rec = TimeSeriesRecorder(
+        registry_source([registry]), interval_seconds=1.0, clock=clock
+    )
+    rec.clock = clock  # test handle
+    return rec
+
+
+def rule(**payload) -> SloRule:
+    payload.setdefault("name", "r")
+    return SloRule.from_dict(payload)
+
+
+class TestSpecValidation:
+    def test_minimal_spec_loads(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "rules": [
+                {"name": "p99", "kind": "quantile_max",
+                 "metric": "lat_seconds", "q": 0.99, "max": 0.25},
+            ],
+        }))
+        spec = SloSpec.from_json(path)
+        assert len(spec.rules) == 1
+        assert spec.rules[0].q == 0.99
+
+    @pytest.mark.parametrize("payload, message", [
+        ({"kind": "quantile_max", "metric": "m"}, "needs 'max'"),
+        ({"kind": "rate_min", "metric": "m"}, "needs 'min'"),
+        ({"kind": "nope", "metric": "m"}, "unknown kind"),
+        ({"kind": "rate_max", "metric": "m", "max": 1, "wat": 2}, "unknown fields"),
+        ({"kind": "ratio_max", "metric": "m", "max": 1}, "needs 'denominator'"),
+        ({"kind": "burn_rate", "metric": "m", "denominator": "d"}, "budget"),
+        ({"kind": "quantile_max", "metric": "m", "max": 1, "q": 2}, "'q'"),
+    ])
+    def test_invalid_rules_raise_naming_the_rule(self, payload, message):
+        payload.setdefault("name", "bad-rule")
+        with pytest.raises(SloSpecError, match="bad-rule") as excinfo:
+            SloRule.from_dict(payload)
+        assert message in str(excinfo.value)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SloSpecError, match="duplicate"):
+            SloSpec.from_dict({"rules": [
+                {"name": "x", "kind": "gauge_max", "metric": "m", "max": 1},
+                {"name": "x", "kind": "gauge_max", "metric": "m", "max": 2},
+            ]})
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(SloSpecError, match="could not read"):
+            SloSpec.from_json(tmp_path / "missing.json")
+
+
+class TestEvaluation:
+    def test_no_data_is_ok_not_firing(self, recorder):
+        status = rule(kind="rate_max", metric="err_total", max=1.0).evaluate(recorder)
+        assert status.ok and not status.firing and not status.data
+
+    def test_rate_max_fires_on_breach(self, registry, recorder):
+        counter = registry.counter("err_total", "")
+        recorder.sample()
+        counter.inc(100)
+        recorder.clock.advance(10.0)
+        recorder.sample()
+        status = rule(
+            kind="rate_max", metric="err_total", max=1.0, window_seconds=60,
+        ).evaluate(recorder)
+        assert status.firing
+        assert status.value == pytest.approx(10.0)
+        assert ">" in status.detail
+
+    def test_quantile_max_with_label_selector(self, registry, recorder):
+        histogram = registry.histogram(
+            "lat_seconds", "", buckets=[0.1, 1.0], method="POST"
+        )
+        recorder.sample()
+        for _ in range(20):
+            histogram.observe(0.5)
+        recorder.clock.advance(1.0)
+        recorder.sample()
+        breached = rule(
+            kind="quantile_max", metric="lat_seconds", q=0.9, max=0.2,
+            labels={"method": "POST"},
+        ).evaluate(recorder)
+        assert breached.firing
+        other_label = rule(
+            kind="quantile_max", metric="lat_seconds", q=0.9, max=0.2,
+            labels={"method": "GET"},
+        ).evaluate(recorder)
+        assert not other_label.data  # selector matched nothing
+
+    def test_gauge_bounds(self, registry, recorder):
+        registry.gauge("depth", "").set(90)
+        recorder.sample()
+        assert rule(kind="gauge_max", metric="depth", max=100).evaluate(recorder).ok
+        assert rule(kind="gauge_max", metric="depth", max=50).evaluate(recorder).firing
+        assert rule(kind="gauge_min", metric="depth", min=95).evaluate(recorder).firing
+
+    def test_ratio_max_regex_selector(self, registry, recorder):
+        errors = registry.counter("http_total", "", status="503")
+        successes = registry.counter("http_total", "", status="200")
+        recorder.sample()
+        errors.inc(5)
+        successes.inc(95)
+        recorder.clock.advance(10.0)
+        recorder.sample()
+        status = rule(
+            kind="ratio_max", metric="http_total", denominator="http_total",
+            max=0.01, labels={"status": "5.."},
+        ).evaluate(recorder)
+        assert status.firing
+        assert status.value == pytest.approx(0.05)
+
+    def test_burn_rate_needs_both_windows(self, registry, recorder):
+        errors = registry.counter("http_total", "", status="500")
+        total = registry.counter("http_total", "", status="200")
+        burn = rule(
+            kind="burn_rate", metric="http_total", denominator="http_total",
+            labels={"status": "5.."}, budget=0.01, factor=10,
+            short_window_seconds=10, long_window_seconds=40,
+        )
+        recorder.sample()
+        # Sustained 50% error ratio across both windows.
+        for _ in range(5):
+            errors.inc(50)
+            total.inc(50)
+            recorder.clock.advance(10.0)
+            recorder.sample()
+        assert burn.evaluate(recorder).firing
+
+    def test_burn_rate_ok_when_only_short_window_burns(self, registry, recorder):
+        errors = registry.counter("http_total", "", status="500")
+        total = registry.counter("http_total", "", status="200")
+        burn = rule(
+            kind="burn_rate", metric="http_total", denominator="http_total",
+            labels={"status": "5.."}, budget=0.01, factor=10,
+            short_window_seconds=10, long_window_seconds=1000,
+        )
+        recorder.sample()
+        # Long clean history...
+        for _ in range(20):
+            total.inc(1000)
+            recorder.clock.advance(10.0)
+            recorder.sample()
+        # ...then one short blip: short window burns, long does not.
+        errors.inc(8)
+        total.inc(8)
+        recorder.clock.advance(10.0)
+        recorder.sample()
+        status = burn.evaluate(recorder)
+        assert status.data and status.ok
+
+
+class TestRecorderIntegration:
+    def test_attach_slo_statuses_and_alert_transitions(self, registry, recorder):
+        spec = SloSpec.from_dict({"rules": [
+            {"name": "depth", "kind": "gauge_max", "metric": "q_depth", "max": 10},
+        ]})
+        recorder.attach_slo(spec)
+        transitions = []
+        recorder.on_alert = lambda status, firing: transitions.append(
+            (status.name, firing)
+        )
+        gauge = registry.gauge("q_depth", "")
+        gauge.set(5)
+        recorder.sample()
+        assert recorder.firing() == []
+        gauge.set(50)
+        recorder.clock.advance(1.0)
+        recorder.sample()
+        assert [s.name for s in recorder.firing()] == ["depth"]
+        gauge.set(5)
+        recorder.clock.advance(1.0)
+        recorder.sample()
+        assert recorder.firing() == []
+        # One transition up, one down — not one event per sample.
+        assert transitions == [("depth", True), ("depth", False)]
+
+    def test_status_to_dict_shape(self, registry, recorder):
+        registry.gauge("q_depth", "").set(50)
+        recorder.attach_slo(SloSpec.from_dict({"rules": [
+            {"name": "depth", "kind": "gauge_max", "metric": "q_depth", "max": 10},
+        ]}))
+        recorder.sample()
+        payload = recorder.statuses()[0].to_dict()
+        assert payload["firing"] is True
+        assert set(payload) == {
+            "name", "kind", "ok", "firing", "value", "threshold", "data", "detail",
+        }

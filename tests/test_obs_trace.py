@@ -129,17 +129,36 @@ class TestJsonlSink:
         assert len(lines) == 2
         assert json.loads(lines[0])["name"] == "alpha"
 
-    def test_read_trace_skips_malformed_lines(self, tmp_path):
+    def test_read_trace_tolerates_truncated_final_line(self, tmp_path):
+        # The store-backend contract: a torn final append (writer killed
+        # mid-line) is dropped, everything before it parses normally.
         path = tmp_path / "trace.jsonl"
         path.write_text(
             '{"name": "ok", "duration_ms": 1.0, "trace": "t", "span": "s"}\n'
-            "not json\n"
-            '{"missing": "fields"}\n'
-            "\n"
+            '{"name": "truncat'
         )
         records = obs.read_trace(path)
         assert len(records) == 1
         assert records[0]["name"] == "ok"
+
+    def test_read_trace_raises_on_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"name": "ok", "duration_ms": 1.0, "trace": "t", "span": "s"}\n'
+            "not json\n"
+            '{"name": "later", "duration_ms": 2.0, "trace": "t", "span": "u"}\n'
+        )
+        with pytest.raises(obs.TraceReadError, match="line 2"):
+            obs.read_trace(path)
+
+    def test_read_trace_raises_on_non_span_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"missing": "fields"}\n'
+            '{"name": "ok", "duration_ms": 1.0, "trace": "t", "span": "s"}\n'
+        )
+        with pytest.raises(obs.TraceReadError, match="line 1"):
+            obs.read_trace(path)
 
 
 class TestReport:
@@ -171,3 +190,116 @@ class TestReport:
 
     def test_render_empty(self):
         assert "no spans" in obs.render_trace_report([])
+
+    def test_render_trace_tree_selects_one_trace(self):
+        text = obs.render_trace_tree(self._records(), "t1")
+        assert text.startswith("trace t1: 2 spans")
+        assert "request" in text and "solve" in text
+        assert "t2" not in text
+
+    def test_render_trace_tree_accepts_unique_prefix(self):
+        records = [
+            {"trace": "feedface00000000", "span": "a", "parent": None,
+             "name": "request", "ts": 1.0, "duration_ms": 1.0},
+            {"trace": "0badc0de00000000", "span": "b", "parent": None,
+             "name": "request", "ts": 2.0, "duration_ms": 1.0},
+        ]
+        assert "trace feedface00000000" in obs.render_trace_tree(records, "feed")
+
+    def test_render_trace_tree_unknown_and_ambiguous_raise(self):
+        records = self._records()
+        with pytest.raises(ValueError, match="no trace"):
+            obs.render_trace_tree(records, "zzz")
+        with pytest.raises(ValueError, match="ambiguous"):
+            obs.render_trace_tree(records, "t")
+
+
+@pytest.fixture()
+def full_sampling():
+    """Restore the (probability, slow_ms) pair after a test perturbs it."""
+    previous = obs.sampling()
+    yield
+    obs.configure_sampling(*previous)
+
+
+class TestHeadSampling:
+    def test_decision_is_deterministic_in_trace_id(self, full_sampling):
+        obs.configure_sampling(probability=0.5)
+        ids = [obs.new_trace_id() for _ in range(200)]
+        first = [obs.trace_sampled(tid) for tid in ids]
+        second = [obs.trace_sampled(tid) for tid in ids]
+        assert first == second
+        # Roughly half kept (hash-uniform ids; wide tolerance, no flakes).
+        kept = sum(first)
+        assert 40 <= kept <= 160
+
+    def test_probability_bounds(self, full_sampling):
+        obs.configure_sampling(probability=1.0)
+        assert obs.trace_sampled("ffffffffffffffff")
+        obs.configure_sampling(probability=0.0)
+        assert not obs.trace_sampled("0000000000000000")
+
+    def test_unsampled_trace_drops_whole_tree(self, sink, full_sampling):
+        obs.configure_sampling(probability=0.0, slow_ms=1e9)
+        with obs.span("root"):
+            with obs.span("child"):
+                pass
+        assert sink == []
+
+    def test_children_inherit_root_decision(self, sink, full_sampling):
+        # p=0.5: find one kept and one dropped id, then check inheritance.
+        obs.configure_sampling(probability=0.5, slow_ms=1e9)
+        kept_id = next(
+            tid for tid in (obs.new_trace_id() for _ in range(1000))
+            if obs.trace_sampled(tid)
+        )
+        dropped_id = next(
+            tid for tid in (obs.new_trace_id() for _ in range(1000))
+            if not obs.trace_sampled(tid)
+        )
+        with obs.span("request", trace_id=kept_id):
+            with obs.span("inner"):
+                pass
+        with obs.span("request", trace_id=dropped_id):
+            with obs.span("inner"):
+                pass
+        assert len(sink) == 2
+        assert all(record["trace"] == kept_id for record in sink)
+
+    def test_slow_span_kept_and_tagged_despite_sampling(self, sink, full_sampling):
+        obs.configure_sampling(probability=0.0, slow_ms=0.0)  # everything is "slow"
+        with obs.span("slow-root"):
+            pass
+        assert len(sink) == 1
+        assert sink[0]["sampled"] is False
+
+    def test_emit_span_respects_sampling(self, sink, full_sampling):
+        obs.configure_sampling(probability=0.0, slow_ms=1e9)
+        context = obs.emit_span("dropped", 0.001)
+        assert context is not None  # callers still get a context to chain
+        assert sink == []
+        obs.configure_sampling(slow_ms=0.0)
+        obs.emit_span("kept-slow", 0.001)
+        assert [r["name"] for r in sink] == ["kept-slow"]
+        assert sink[0]["sampled"] is False
+
+    def test_sampled_context_flows_to_histogram_exemplars(self, sink, full_sampling):
+        obs.configure_sampling(probability=1.0)
+        with obs.use_registry() as registry:
+            histogram = registry.histogram("t_seconds", "", buckets=[0.1, 1.0])
+            with obs.span("request") as active:
+                histogram.observe(0.05)
+                trace_id = active.context.trace_id
+        assert histogram.exemplars[0]["trace_id"] == trace_id
+        rendered = registry.render_prometheus(exemplars=True)
+        assert f'# {{trace_id="{trace_id}"}} 0.05' in rendered
+        # Default rendering stays exemplar-free (round-trip identity).
+        assert "trace_id" not in registry.render_prometheus()
+
+    def test_unsampled_observation_leaves_no_exemplar(self, sink, full_sampling):
+        obs.configure_sampling(probability=0.0, slow_ms=1e9)
+        with obs.use_registry() as registry:
+            histogram = registry.histogram("t_seconds", "", buckets=[0.1, 1.0])
+            with obs.span("request"):
+                histogram.observe(0.05)
+        assert histogram.exemplars == {}

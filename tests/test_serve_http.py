@@ -59,7 +59,21 @@ class TestEndpoints:
     def test_healthz(self, server):
         status, payload = call(server, "GET", "/healthz")
         assert status == 200
-        assert payload == {"ok": True, "graphs": ["g"]}
+        assert payload["ok"] is True
+        assert payload["problems"] == []
+        assert payload["graphs"]["g"]["live"] is True
+        assert payload["graphs"]["g"]["belief_version"] >= 1
+        assert set(payload["graphs"]["g"]["staleness"]) == {
+            "queries_since_refresh", "snapshot_age_seconds", "pending_deltas",
+        }
+        batcher = payload["batcher"]
+        assert batcher["queue_depth"] < batcher["max_queue"]
+        assert 0.0 <= batcher["saturation"] < 1.0
+
+    def test_alerts_disabled_without_recorder(self, server):
+        status, payload = call(server, "GET", "/alerts")
+        assert status == 200
+        assert payload == {"enabled": False, "alerts": []}
 
     def test_query_round_trip(self, server):
         status, payload = call(
@@ -124,6 +138,68 @@ class TestEndpoints:
         assert stats["n_queries"] >= 1
         assert stats["batcher"]["n_flushes"] >= 1
         assert "g" in stats["graphs"]
+
+
+class TestSloHealth:
+    """SLO recorder wiring: /healthz degradation and /alerts."""
+
+    @pytest.fixture()
+    def slo_server(self, http_graph):
+        from repro import obs
+        from repro.obs.timeseries import TimeSeriesRecorder, registry_source
+
+        with obs.use_registry() as registry:
+            service = InferenceService(registry=registry)
+            service.load_graph(
+                "g", graph=http_graph.copy(), propagator="linbp",
+                fraction=0.1, seed=3,
+            )
+            clock = [1000.0]
+            recorder = TimeSeriesRecorder(
+                registry_source([registry]), interval_seconds=1.0,
+                clock=lambda: clock[0],
+            )
+            recorder.attach_slo(obs.SloSpec.from_dict({"rules": [
+                {"name": "p99-latency", "kind": "quantile_max",
+                 "metric": "repro_http_request_seconds",
+                 "q": 0.99, "max": 0.001, "window_seconds": 3600},
+            ]}))
+            server = make_server(service, port=0, recorder=recorder)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                yield server, recorder, clock
+            finally:
+                server.close()
+                thread.join(timeout=5)
+
+    def test_latency_breach_degrades_healthz_naming_the_rule(self, slo_server):
+        server, recorder, clock = slo_server
+        recorder.sample()
+
+        status, payload = call(server, "GET", "/healthz")
+        assert status == 200 and payload["ok"] is True
+        assert payload["slo"] == {"rules": 1, "firing": []}
+
+        # Inject a latency breach: observations far above the 1 ms bound.
+        server.service.registry.histogram(
+            "repro_http_request_seconds", "", method="GET",
+        ).observe(0.5)
+        clock[0] += 1.0
+        recorder.sample()
+
+        status, payload = call(server, "GET", "/healthz")
+        assert status == 503
+        assert payload["ok"] is False
+        assert payload["slo"]["firing"] == ["p99-latency"]
+        assert any("p99-latency" in problem for problem in payload["problems"])
+
+        status, payload = call(server, "GET", "/alerts")
+        assert status == 200
+        assert payload["enabled"] is True
+        assert payload["firing"] == ["p99-latency"]
+        alert = payload["alerts"][0]
+        assert alert["kind"] == "quantile_max" and alert["firing"] is True
 
 
 class TestErrorMapping:
