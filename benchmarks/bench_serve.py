@@ -21,6 +21,21 @@ checks the next query reflects it: the belief row changes, the belief
 version advances, and the staleness counter (queries answered since the
 last refresh) resets to zero.
 
+With ``--workers 1 2 4 8`` a third phase sweeps the **horizontal tier**:
+for each pool size it spawns that many real worker processes (via
+:class:`repro.serve.router.Router`), loads the same balanced set of
+sessions (names chosen so placement spreads them evenly at the largest
+pool size — the divisor-chain property keeps them balanced at every
+smaller size too), and drives a placement-aware HTTP load: each client
+computes ``place(session, n)`` itself and talks straight to the owning
+worker, so the sweep measures worker parallelism, not proxy overhead.
+Deltas use deferred acks (``ack="applied"``) and the next query carries
+the returned token as ``min_version`` — the read-your-writes path is what
+gets benchmarked.  The scale-free ``speedup_N_workers`` ratios (pool-of-N
+qps over pool-of-1 qps) are what the CI gate checks; absolute qps and the
+recorded ``host_cpus`` say how much hardware the numbers had to work with
+(a 1-CPU container cannot show a 4x pool speedup; a 4-vCPU CI runner can).
+
 Writes ``BENCH_serve.json`` next to the repository root (or ``--output``).
 
 Usage
@@ -28,12 +43,16 @@ Usage
     PYTHONPATH=src python benchmarks/bench_serve.py
     PYTHONPATH=src python benchmarks/bench_serve.py --clients 8 --duration 4
     PYTHONPATH=src python benchmarks/bench_serve.py --nodes 20000 --edges 60000
+    PYTHONPATH=src python benchmarks/bench_serve.py --workers 1 2 4 8
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
+import os
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -42,8 +61,10 @@ import numpy as np
 
 from repro.core.compatibility import skew_compatibility
 from repro.graph.generator import generate_graph
+from repro.graph.io import save_graph_npz
 from repro.serve import InferenceService, MicroBatcher
 from repro.stream import GraphDelta
+from repro.utils.placement import place
 
 GRAPH_NAME = "bench"
 
@@ -165,6 +186,169 @@ def check_delta_mid_load(frontend, service: InferenceService, graph) -> dict:
     }
 
 
+def balanced_session_names(n: int) -> list[str]:
+    """``n`` session names whose placements cover workers ``0..n-1``.
+
+    Because placement is ``hash % n`` and the candidates are scanned in a
+    fixed order, the result is deterministic; the divisor-chain property
+    keeps the same names evenly spread at every pool size dividing ``n``.
+    """
+    by_worker: dict[int, str] = {}
+    attempt = 0
+    while len(by_worker) < n:
+        name = f"shard{attempt}"
+        by_worker.setdefault(place(name, n), name)
+        attempt += 1
+    return [by_worker[index] for index in range(n)]
+
+
+class WorkerClient:
+    """Keep-alive HTTP client pinned to one worker (one per load thread)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.host, self.port, self.timeout = host, port, timeout
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def post(self, path: str, payload: dict) -> dict:
+        body = json.dumps(payload).encode("utf-8")
+        for attempt in (1, 2):
+            try:
+                self.conn.request("POST", path, body=body,
+                                  headers={"Content-Type": "application/json"})
+                response = self.conn.getresponse()
+                data = response.read()
+                if response.status != 200:
+                    raise RuntimeError(
+                        f"{path} -> {response.status}: {data[:200]!r}")
+                return json.loads(data.decode("utf-8"))
+            except (http.client.HTTPException, OSError):
+                self.conn.close()
+                self.conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+                if attempt == 2:
+                    raise
+
+
+def run_worker_pool(
+    router, sessions: list[str], n_clients: int, duration: float,
+    queries_per_delta: int, nodes_per_query: int, n_nodes: int, seed: int,
+) -> dict:
+    """One closed-loop phase against a live pool, placement-aware clients."""
+    n_workers = router.n_workers
+    barrier = threading.Barrier(n_clients + 1)
+    stop_at = [0.0]
+    counts = [0] * n_clients
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    errors: list[str] = []
+
+    def client(index: int) -> None:
+        session = sessions[index % len(sessions)]
+        handle = router.workers[place(session, n_workers)]
+        rng = np.random.default_rng(seed + index)
+        wire = WorkerClient(handle.host, handle.port)
+        mine = latencies[index]
+        token = None
+        barrier.wait()
+        step = 0
+        try:
+            while time.perf_counter() < stop_at[0]:
+                step += 1
+                if step % queries_per_delta == 0:
+                    u = int(rng.integers(0, n_nodes - 1))
+                    v = int(rng.integers(u + 1, n_nodes))
+                    outcome = wire.post(f"/graphs/{session}/delta", {
+                        "add_edges": [[u, v]], "ack": "applied",
+                    })
+                    token = outcome["token"]
+                else:
+                    payload = {
+                        "nodes": [int(x) for x in
+                                  rng.integers(0, n_nodes, size=nodes_per_query)],
+                        "top_k": 1,
+                    }
+                    if token is not None:
+                        payload["min_version"] = token
+                    start = time.perf_counter()
+                    wire.post(f"/graphs/{session}/query", payload)
+                    mine.append(time.perf_counter() - start)
+                    counts[index] += 1
+        except Exception as exc:  # pragma: no cover - surfaced in the record
+            errors.append(f"client {index}: {exc!r}")
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    stop_at[0] = time.perf_counter() + duration
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    all_latencies = [lat for client_lats in latencies for lat in client_lats]
+    return {
+        "n_workers": n_workers,
+        "n_clients": n_clients,
+        "elapsed_seconds": elapsed,
+        "n_queries": sum(counts),
+        "queries_per_second": sum(counts) / elapsed if elapsed else 0.0,
+        "query_p50_ms": percentile_ms(all_latencies, 50),
+        "query_p99_ms": percentile_ms(all_latencies, 99),
+        "errors": errors,
+    }
+
+
+def run_worker_sweep(args, graph) -> dict:
+    """The horizontal-tier sweep: same workload, growing worker pools."""
+    from repro.serve.router import Router
+
+    sweep = sorted(set(args.workers))
+    max_workers = max(sweep)
+    sessions = balanced_session_names(max_workers)
+    n_clients = max(args.clients, max_workers)
+    per_pool: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        graph_path = save_graph_npz(graph, Path(tmp) / "bench.npz")
+        for n in sweep:
+            print(f"  pool of {n} worker(s): loading {len(sessions)} "
+                  f"session(s), {n_clients} clients x {args.duration:.0f}s ...")
+            worker_args = [
+                "--lenient",
+                "--max-batch", str(args.max_batch),
+                "--max-latency", str(args.max_latency),
+            ]
+            with Router(n, queue_dir=Path(tmp) / f"queues-{n}",
+                        worker_args=worker_args,
+                        spawn_timeout=300.0) as router:
+                for session in sessions:
+                    status, body = router.handle_load({
+                        "name": session, "path": str(graph_path),
+                        "fraction": args.fraction, "seed": args.seed,
+                        "iterations": args.iterations,
+                        "tolerance": args.tolerance,
+                    })
+                    if status != 201:
+                        raise RuntimeError(
+                            f"load {session} on pool of {n}: {status} {body!r}")
+                record = run_worker_pool(
+                    router, sessions, n_clients, args.duration,
+                    args.queries_per_delta, args.nodes_per_query,
+                    args.nodes, args.seed + 5000 * n,
+                )
+            per_pool[str(n)] = record
+            print(f"    {record['queries_per_second']:9.0f} q/s   "
+                  f"p50 {record['query_p50_ms']:6.2f} ms  "
+                  f"p99 {record['query_p99_ms']:6.2f} ms")
+            if record["errors"]:
+                print(f"    errors: {record['errors'][:3]}")
+    return {
+        "host_cpus": os.cpu_count(),
+        "sessions": sessions,
+        "pool_sizes": sweep,
+        "per_pool": per_pool,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nodes", type=int, default=60_000)
@@ -186,6 +370,10 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=300)
     parser.add_argument("--tolerance", type=float, default=1e-7)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="also sweep the horizontal tier at these pool "
+                             "sizes (e.g. --workers 1 2 4 8); records "
+                             "speedup_N_workers ratios")
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_serve.json"),
@@ -256,6 +444,12 @@ def main(argv=None) -> int:
           f"{delta_check['queries_since_refresh_before']} -> "
           f"{delta_check['queries_since_refresh_after']})")
 
+    sweep = None
+    if args.workers:
+        print(f"\nhorizontal tier sweep: pools of "
+              f"{sorted(set(args.workers))} worker process(es) ...")
+        sweep = run_worker_sweep(args, graph)
+
     results = {
         "graph": {
             "n_nodes": args.nodes,
@@ -279,6 +473,16 @@ def main(argv=None) -> int:
         "meets_3x_target": bool(speedup >= 3.0),
         "delta_mid_load": delta_check,
     }
+    if sweep is not None:
+        results["workers_sweep"] = sweep
+        base_qps = sweep["per_pool"][str(min(sweep["pool_sizes"]))][
+            "queries_per_second"]
+        for n in sweep["pool_sizes"][1:]:
+            ratio = (sweep["per_pool"][str(n)]["queries_per_second"] / base_qps
+                     if base_qps else 0.0)
+            results[f"speedup_{n}_workers"] = ratio
+            print(f"pool speedup at {n} workers: {ratio:.2f}x "
+                  f"(host has {sweep['host_cpus']} cpu(s))")
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {output}")

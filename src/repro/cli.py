@@ -37,7 +37,9 @@ Examples
     repro serve graph.npz --port 8151              # online query service
     repro serve graph.npz --trace trace.jsonl --log-json
     repro serve graph.npz --slo examples/specs/serve_slo.json
+    repro serve --workers 4 --queue-dir q/         # horizontal tier (router)
     repro top :8151 :8152                          # live fleet dashboard
+    repro top --router :8150                       # discover fleet via router
     repro top :8151 --once --json                  # one federated summary
     repro stats trace.jsonl --slowest 3            # span report from a trace
     repro stats trace.jsonl --trace-id ab12cd      # one request's span tree
@@ -327,14 +329,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-interval", type=float, default=1.0,
                        dest="slo_interval", metavar="SECONDS",
                        help="SLO recorder sampling period (default 1s)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="run as a router fronting N worker processes; "
+                            "sessions are placed by name hash and requests "
+                            "proxied to the owning worker (0 = single "
+                            "process, the default)")
+    serve.add_argument("--max-sessions", type=int, default=None,
+                       dest="max_sessions", metavar="N",
+                       help="LRU-evict least-recently-used sessions beyond "
+                            "this bound; evicted sessions reload "
+                            "transparently on next touch")
+    serve.add_argument("--queue-dir", default=None, dest="queue_dir",
+                       metavar="DIR",
+                       help="durable per-session delta queue directory; "
+                            "acked deltas are replayed from it after a "
+                            "crash or eviction (router mode shares one "
+                            "directory across all workers)")
+    serve.add_argument("--port-file", default=None, dest="port_file",
+                       metavar="FILE",
+                       help="write the bound port to this file once "
+                            "listening (for --port 0 and supervisors)")
 
     top = subparsers.add_parser(
         "top", help="live terminal dashboard over serve /metrics endpoints"
     )
-    top.add_argument("endpoints", nargs="+",
+    top.add_argument("endpoints", nargs="*",
                      help="one or more /metrics endpoints: full URLs, "
                           "host:port, or :port (localhost implied); several "
                           "endpoints federate under an 'instance' label")
+    top.add_argument("--router", default=None, metavar="URL",
+                     help="discover worker /metrics endpoints from a "
+                          "router's /fleet listing instead of naming them "
+                          "explicitly")
     top.add_argument("--interval", type=float, default=1.0,
                      help="refresh/sampling period in seconds (default 1)")
     top.add_argument("--window", type=float, default=60.0,
@@ -787,9 +813,100 @@ def _make_slo_recorder(args: argparse.Namespace, service) -> "object | None":
     return recorder
 
 
+def _write_port_file(path: str | None, port: int) -> None:
+    """Publish the bound port for ``--port 0`` supervisors (router, tests)."""
+    if path:
+        Path(path).write_text(f"{port}\n")
+
+
+def _serve_router(args: argparse.Namespace) -> int:
+    """``repro serve --workers N``: router + supervised worker pool."""
+    from repro.serve import ServeError
+    from repro.serve.router import Router, make_router_server
+
+    worker_args = [
+        "--cache-entries", str(args.cache_entries),
+        "--max-batch", str(args.max_batch),
+        "--max-latency", str(args.max_latency),
+    ]
+    if args.lenient:
+        worker_args.append("--lenient")
+    if args.no_batching:
+        worker_args.append("--no-batching")
+    if args.max_sessions is not None:
+        worker_args += ["--max-sessions", str(args.max_sessions)]
+    router = Router(
+        args.workers,
+        host=args.host,
+        queue_dir=args.queue_dir,
+        worker_args=worker_args,
+    )
+    try:
+        router.start()
+    except ServeError as exc:
+        router.close()
+        raise CLIError(str(exc)) from exc
+    print(f"spawned {args.workers} worker(s): "
+          + ", ".join(h.url for h in router.workers))
+    if args.graph is not None:
+        _check_propagator(args.propagator)
+        payload = {
+            "name": args.name,
+            "propagator": args.propagator,
+            "method": args.method,
+            "fraction": args.fraction,
+            "seed": args.seed,
+            "iterations": args.iterations,
+            "tolerance": args.tolerance,
+            "localized": args.localized,
+        }
+        if args.from_store:
+            payload["store"] = args.from_store
+            payload["hash"] = args.graph
+        else:
+            if not Path(args.graph).exists():
+                router.close()
+                raise CLIError(f"graph file not found: {args.graph}")
+            payload["path"] = args.graph
+        status, body = router.handle_load(payload)
+        if status != 201:
+            router.close()
+            raise CLIError(f"preload failed ({status}): "
+                           f"{body.decode('utf-8', 'replace')}")
+        owner = router.place(args.name)
+        print(f"loaded {args.name!r} on worker {owner}")
+    elif args.from_store:
+        router.close()
+        raise CLIError("--from-store needs a record hash as the GRAPH argument")
+    try:
+        server = make_router_server(
+            router, host=args.host, port=args.port, log_json=args.log_json
+        )
+    except OSError as exc:
+        router.close()
+        raise CLIError(f"could not bind {args.host}:{args.port}: {exc}") from exc
+    _write_port_file(args.port_file, server.server_address[1])
+    print(f"routing on http://{args.host}:{server.server_address[1]} "
+          f"[{args.workers} worker(s), placement by session name] — "
+          f"Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down fleet")
+    finally:
+        server.close()
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve import InferenceService, MicroBatcher, ServeError, make_server
 
+    if args.workers < 0:
+        raise CLIError("--workers must be >= 0")
+    if args.max_sessions is not None and args.max_sessions < 1:
+        raise CLIError("--max-sessions must be >= 1")
+    if args.workers:
+        return _serve_router(args)
     _configure_trace(args.trace)
     if args.trace_sample is not None:
         if not 0.0 <= args.trace_sample <= 1.0:
@@ -800,7 +917,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"head-sampling traces at p={args.trace_sample:g} "
               f"(slow spans always kept)")
     service = InferenceService(
-        cache_entries=args.cache_entries, strict_deltas=not args.lenient
+        cache_entries=args.cache_entries,
+        strict_deltas=not args.lenient,
+        max_sessions=args.max_sessions,
+        queue_dir=args.queue_dir,
     )
     if args.graph is not None:
         _check_propagator(args.propagator)
@@ -850,6 +970,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise CLIError(f"could not bind {args.host}:{args.port}: {exc}") from exc
     if recorder is not None:
         recorder.start()
+    _write_port_file(args.port_file, server.server_address[1])
     mode = "unbatched" if batcher is None else (
         f"micro-batched (<= {args.max_batch}/flush, "
         f"{args.max_latency * 1e3:g} ms budget)"
@@ -865,6 +986,33 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _discover_fleet(router: str, timeout: float) -> list[str]:
+    """Worker /metrics endpoints from a router's ``/fleet`` listing."""
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.scrape import normalize_endpoint
+
+    try:
+        _, url = normalize_endpoint(router)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    url = url.rsplit("/", 1)[0] + "/fleet"  # normalize appends /metrics
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            fleet = json.loads(response.read().decode("utf-8"))
+    except (OSError, urllib.error.URLError, json.JSONDecodeError) as exc:
+        raise CLIError(f"could not read fleet listing from {url}: {exc}") from exc
+    endpoints = [
+        worker["metrics_url"]
+        for worker in fleet.get("workers", [])
+        if worker.get("metrics_url")
+    ]
+    if not endpoints:
+        raise CLIError(f"router at {url} reports no workers with metrics")
+    return endpoints
+
+
 def _command_top(args: argparse.Namespace) -> int:
     import time
 
@@ -874,9 +1022,17 @@ def _command_top(args: argparse.Namespace) -> int:
         raise CLIError("--json needs --once (one machine-readable summary)")
     if args.interval <= 0:
         raise CLIError("--interval must be > 0")
+    if args.router:
+        if args.endpoints:
+            raise CLIError("give explicit endpoints or --router, not both")
+        endpoints = _discover_fleet(args.router, timeout=args.timeout)
+    elif args.endpoints:
+        endpoints = args.endpoints
+    else:
+        raise CLIError("repro top needs /metrics endpoints or --router URL")
     try:
         client = obs_top.TopClient(
-            args.endpoints,
+            endpoints,
             interval_seconds=args.interval,
             window_seconds=args.window,
             timeout=args.timeout,

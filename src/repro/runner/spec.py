@@ -41,6 +41,7 @@ from repro.graph.generator import generate_graph
 from repro.graph.graph import Graph
 from repro.graph.io import load_graph_npz
 from repro.propagation.engine import ESTIMATORS, PROPAGATORS
+from repro.utils.placement import assign_hex
 
 __all__ = [
     "RunSpec",
@@ -354,7 +355,10 @@ class GridSpec:
         Hashing (rather than round-robin over the expansion order) keeps
         the assignment stable under grid edits: adding a graph config or an
         estimator never moves existing runs between shards, so per-machine
-        caches stay warm.
+        caches stay warm.  The assignment arithmetic itself lives in
+        :func:`repro.utils.placement.assign_hex`, shared with the serving
+        router's session placement — and pinned by a regression test so it
+        can never silently move existing runs between shards.
         """
         index = int(index)
         n_shards = int(n_shards)
@@ -367,7 +371,7 @@ class GridSpec:
         return [
             run
             for run in self.expand()
-            if int(run.content_hash[:16], 16) % n_shards == index
+            if assign_hex(run.content_hash, n_shards) == index
         ]
 
     def to_dict(self) -> dict:

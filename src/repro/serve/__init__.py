@@ -15,7 +15,13 @@ experiments to *serving*:
 * :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` JSON API
   behind ``repro serve``;
 * :mod:`repro.serve.loader` — graph loading from ``.npz`` bundles or
-  runner-store records, shared with ``repro stream --from-store``.
+  runner-store records, shared with ``repro stream --from-store``;
+* :mod:`repro.serve.queue` — :class:`DeltaQueue`, the flock-safe JSONL
+  redo log that makes delta acknowledgements durable across ``kill -9``;
+* :mod:`repro.serve.router` — :class:`Router`, the horizontal tier:
+  a worker pool with deterministic session placement, supervision,
+  crash recovery (reload + redo-log replay), and federated ``/metrics``
+  behind ``repro serve --workers N``.
 
 Quickstart::
 
@@ -42,6 +48,8 @@ from repro.serve.loader import (
     load_serving_graph,
     resolve_store_record,
 )
+from repro.serve.queue import DeltaQueue, QueueCorruptionError
+from repro.serve.router import Router, RouterHTTPServer, make_router_server
 from repro.serve.service import (
     DeltaBatchResult,
     InferenceService,
@@ -52,16 +60,21 @@ from repro.serve.service import (
 
 __all__ = [
     "DeltaBatchResult",
+    "DeltaQueue",
     "GraphSourceError",
     "InferenceHTTPServer",
     "InferenceService",
     "MicroBatcher",
     "QueryCache",
     "QueryResult",
+    "QueueCorruptionError",
+    "Router",
+    "RouterHTTPServer",
     "ServeError",
     "UnknownGraphError",
     "graph_from_store",
     "load_serving_graph",
+    "make_router_server",
     "make_server",
     "resolve_store_record",
 ]

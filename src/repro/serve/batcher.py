@@ -42,7 +42,8 @@ __all__ = ["MicroBatcher"]
 class _Pending:
     kind: str  # "query" | "delta"
     graph: str
-    payload: tuple  # query: (nodes, top_k); delta: (delta,)
+    # query: (nodes, top_k, min_version); delta: (delta, ack, delta_id)
+    payload: tuple
     future: Future
     # Submitter's trace context, captured on the caller's thread so the
     # flush (on the worker thread) can parent its span to the request.
@@ -188,30 +189,60 @@ class MicroBatcher:
         self._g_queue_depth.set(depth)
         return future
 
-    def submit_query(self, graph: str, nodes, top_k: int | None = None) -> Future:
-        """Enqueue a query; the future resolves to a :class:`QueryResult`."""
-        return self._submit("query", graph, (nodes, top_k))
+    def submit_query(
+        self, graph: str, nodes, top_k: int | None = None,
+        min_version: int | None = None,
+    ) -> Future:
+        """Enqueue a query; the future resolves to a :class:`QueryResult`.
 
-    def submit_delta(self, graph: str, delta) -> Future:
-        """Enqueue a delta; the future resolves once a flush propagated it.
+        ``min_version`` is a read-your-writes token from an earlier delta
+        acknowledgement: the answer reflects at least that graph version
+        (or fails with status 412 when the token outruns the session).
+        """
+        return self._submit("query", graph, (nodes, top_k, min_version))
+
+    def submit_delta(
+        self, graph: str, delta, ack: str = "propagated",
+        delta_id: str | None = None,
+    ) -> Future:
+        """Enqueue a delta; the future resolves once a flush handled it.
 
         The result is a :class:`~repro.serve.service.DeltaBatchResult`
         scoped to this one delta (``n_deltas == 1``; ``n_coalesced`` tells
         how many siblings shared the propagation), or the future carries a
         ``ServeError`` when the delta was rejected.
+
+        ``ack="propagated"`` (the default) resolves after the coalesced
+        belief refresh; ``ack="applied"`` resolves as soon as the delta is
+        applied and durably logged — the refresh is deferred to the next
+        eager flush or to the next query (read-your-writes still holds).
+        A flush mixing both modes propagates eagerly: a deferred sibling
+        just gets its answer sooner than it asked for.  ``delta_id`` makes
+        retries idempotent through the service's durable queue.
         """
-        return self._submit("delta", graph, (delta,))
+        if ack not in ("propagated", "applied"):
+            raise ServeError(
+                f"ack must be 'propagated' or 'applied', got {ack!r}"
+            )
+        return self._submit("delta", graph, (delta, ack, delta_id))
 
     def query(
         self, graph: str, nodes, top_k: int | None = None,
-        timeout: float | None = 30.0,
+        min_version: int | None = None, timeout: float | None = 30.0,
     ) -> QueryResult:
         """Submit a query and wait for its micro-batched answer."""
-        return self.submit_query(graph, nodes, top_k).result(timeout=timeout)
+        return self.submit_query(
+            graph, nodes, top_k, min_version
+        ).result(timeout=timeout)
 
-    def apply_delta(self, graph: str, delta, timeout: float | None = 30.0) -> dict:
-        """Submit a delta and wait until a flush has propagated it."""
-        return self.submit_delta(graph, delta).result(timeout=timeout)
+    def apply_delta(
+        self, graph: str, delta, ack: str = "propagated",
+        delta_id: str | None = None, timeout: float | None = 30.0,
+    ) -> dict:
+        """Submit a delta and wait until a flush has handled it."""
+        return self.submit_delta(
+            graph, delta, ack=ack, delta_id=delta_id
+        ).result(timeout=timeout)
 
     # -------------------------------------------------------------- flushing
     def _run(self) -> None:
@@ -281,8 +312,17 @@ class MicroBatcher:
             self._c_batches["delta"].inc()
             call_start = time.perf_counter()
             try:
+                # One deferred-mode sibling cannot hold eager callers back:
+                # the flush propagates if ANY caller asked for a propagated
+                # ack, and defers only when every sibling opted out.
+                propagate = any(
+                    pending.payload[1] == "propagated" for pending in pendings
+                )
                 outcome = self.service.apply_deltas(
-                    graph, [pending.payload[0] for pending in pendings]
+                    graph,
+                    [pending.payload[0] for pending in pendings],
+                    propagate=propagate,
+                    delta_ids=[pending.payload[2] for pending in pendings],
                 )
             except Exception as exc:
                 for pending in pendings:
@@ -293,11 +333,11 @@ class MicroBatcher:
                 error = outcome.errors[position]
                 if error is None:
                     # Each caller submitted ONE delta and gets a result
-                    # scoped to it (n_deltas=1), so a single-delta POST
-                    # reports the same shape whether or not siblings were
-                    # coalesced into the flush; n_coalesced carries the
-                    # shared-propagation count.
-                    pending.future.set_result(outcome.scoped_to_one())
+                    # scoped to it (n_deltas=1, its own token), so a
+                    # single-delta POST reports the same shape whether or
+                    # not siblings were coalesced into the flush;
+                    # n_coalesced carries the shared-propagation count.
+                    pending.future.set_result(outcome.scoped_to_one(position))
                 else:
                     pending.future.set_exception(
                         ServeError(f"delta rejected: {error}")
@@ -312,7 +352,8 @@ class MicroBatcher:
             try:
                 results = self.service.query_many(
                     graph,
-                    [(pending.payload[0], pending.payload[1])
+                    [(pending.payload[0], pending.payload[1],
+                      pending.payload[2])
                      for pending in pendings],
                 )
             except Exception as exc:

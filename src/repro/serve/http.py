@@ -298,7 +298,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         allowed = {
             "name", "path", "store", "hash", "propagator", "propagator_kwargs",
             "method", "method_kwargs", "fraction", "seed", "iterations",
-            "tolerance", "localized", "replace",
+            "tolerance", "localized", "replace", "recover",
         }
         unknown = set(payload) - allowed
         if unknown:
@@ -325,13 +325,28 @@ class ServeHandler(BaseHTTPRequestHandler):
             tolerance=tolerance,
             localized=bool(payload.get("localized", False)),
             replace=bool(payload.get("replace", False)),
+            recover=bool(payload.get("recover", False)),
         )
         self._send_json({"loaded": info}, status=201)
 
     def _handle_delta(self, name: str, payload: dict) -> None:
+        # Transport fields ride next to the delta record and are stripped
+        # before GraphDelta.from_dict sees the payload: "ack" selects the
+        # acknowledgement mode ("propagated" default, "applied" = ack as
+        # soon as durable+applied), "id" is the client's idempotency key.
+        ack = payload.pop("ack", "propagated")
+        if ack not in ("propagated", "applied"):
+            raise ServeError(
+                f"ack must be 'propagated' or 'applied', got {ack!r}"
+            )
+        delta_id = payload.pop("id", None)
+        if delta_id is not None:
+            delta_id = str(delta_id)
         batcher = self.server.batcher
         if batcher is not None:
-            outcome = batcher.apply_delta(name, payload)
+            outcome = batcher.apply_delta(
+                name, payload, ack=ack, delta_id=delta_id
+            )
         else:
             from repro.stream.delta import GraphDelta
 
@@ -339,20 +354,24 @@ class ServeHandler(BaseHTTPRequestHandler):
                 delta = GraphDelta.from_dict(payload)
             except (TypeError, ValueError) as exc:
                 raise ServeError(f"invalid delta: {exc}") from exc
-            outcome = self.server.service.apply_delta(name, delta)
+            outcome = self.server.service.apply_delta(
+                name, delta, propagate=(ack == "propagated"),
+                delta_id=delta_id,
+            )
         self._send_json(outcome.to_dict())
 
     def _handle_query(self, name: str, payload: dict) -> None:
-        unknown = set(payload) - {"nodes", "top_k"}
+        unknown = set(payload) - {"nodes", "top_k", "min_version"}
         if unknown:
             raise ServeError(f"unknown query fields: {sorted(unknown)}")
         nodes = payload.get("nodes")
         top_k = payload.get("top_k")
+        min_version = payload.get("min_version")
         batcher = self.server.batcher
         if batcher is not None:
-            result = batcher.query(name, nodes, top_k)
+            result = batcher.query(name, nodes, top_k, min_version)
         else:
-            result = self.server.service.query(name, nodes, top_k)
+            result = self.server.service.query(name, nodes, top_k, min_version)
         self._send_json(result.to_dict())
 
     # ----------------------------------------------------------- verb hooks

@@ -21,13 +21,30 @@ session's reentrant lock, so queries see either the belief matrix from
 before a concurrent delta or after it — never a half-applied state.  Reads
 are *fresh, monotonic* reads: a query submitted after a delta's
 acknowledgement always reflects that delta.
+
+Read-your-writes tokens make that contract explicit and portable across
+process boundaries: every acknowledged delta returns a **version token**
+(the session's ``graph_version`` after that delta's apply), and a query may
+carry ``min_version`` — the service propagates lazily if needed and answers
+from beliefs covering at least that token, or fails with status 412 when
+the token is *ahead* of the session (the fence that detects lost
+acknowledged writes after a crash recovery).  With ``queue_dir`` set, every
+acknowledged delta is durably appended to a per-session redo log
+(:class:`~repro.serve.queue.DeltaQueue`) *before* the acknowledgement, so
+acks survive a ``kill -9``: recovery (``load_graph(recover=True)``) or an
+LRU-evicted session's transparent reload replays the log and lands back on
+the exact version the last token named.  ``max_sessions`` bounds residency:
+the least-recently-used reloadable session is evicted to a stub and
+rebuilt from source + redo log on its next touch.
 """
 
 from __future__ import annotations
 
 import inspect
+import itertools
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +55,7 @@ from repro.graph.graph import Graph
 from repro.propagation.engine import ESTIMATORS, PROPAGATORS, propagator_names
 from repro.serve.cache import QueryCache
 from repro.serve.loader import GraphSourceError, load_serving_graph
+from repro.serve.queue import DeltaQueue
 from repro.stream.delta import GraphDelta
 from repro.stream.session import StreamingSession
 
@@ -126,9 +144,25 @@ class DeltaBatchResult:
     graph_version: int
     belief_version: int
     n_coalesced: int = 0
+    # One read-your-writes token per submitted delta: the graph_version its
+    # apply landed as (None for rejected deltas).  Passing a token back as a
+    # query's min_version guarantees the answer reflects that delta.
+    tokens: list = field(default_factory=list)
+    # False when the acknowledgement was returned before the belief refresh
+    # (deferred-ack mode); the refresh happens on the next flush or query.
+    propagated: bool = True
 
-    def scoped_to_one(self) -> "DeltaBatchResult":
+    @property
+    def token(self):
+        """The batch's highest token (convenience for single-delta calls)."""
+        accepted = [t for t in self.tokens if t is not None]
+        return accepted[-1] if accepted else None
+
+    def scoped_to_one(self, position: int = 0) -> "DeltaBatchResult":
         """A per-caller view of one applied delta from a coalesced batch."""
+        token = (
+            self.tokens[position] if 0 <= position < len(self.tokens) else None
+        )
         return DeltaBatchResult(
             name=self.name,
             n_deltas=1,
@@ -140,6 +174,8 @@ class DeltaBatchResult:
             graph_version=self.graph_version,
             belief_version=self.belief_version,
             n_coalesced=self.n_coalesced,
+            tokens=[token],
+            propagated=self.propagated,
         )
 
     def to_dict(self) -> dict:
@@ -154,6 +190,9 @@ class DeltaBatchResult:
             "graph_version": self.graph_version,
             "belief_version": self.belief_version,
             "n_coalesced": self.n_coalesced,
+            "tokens": self.tokens,
+            "token": self.token,
+            "propagated": self.propagated,
         }
 
 
@@ -179,7 +218,19 @@ class _ServedGraph:
         self.created_at = time.time()
         self.graph_version = 0  # deltas applied since load
         self.belief_version = 0  # completed propagations (anchor included)
+        # graph_version the current belief matrix covers; < graph_version
+        # while deferred-ack deltas await their propagation.
+        self.propagated_version = 0
         self.last_solve_monotonic = time.monotonic()
+        # LRU bookkeeping (written by the service under its registry lock):
+        # last_used is a monotonic use counter, load_state everything needed
+        # to rebuild the session from source without re-estimation (None for
+        # graphs loaded from a ready instance — those cannot be evicted),
+        # evicted flips when the session leaves the registry so in-flight
+        # holders of this object retry instead of writing into a ghost.
+        self.last_used = 0
+        self.load_state: dict | None = None
+        self.evicted = False
         labels = {"graph": name}
         self._c_queries = self.registry.counter(
             "repro_serve_queries_total", "Queries answered per served graph.",
@@ -277,6 +328,7 @@ class _ServedGraph:
 
     def record_solve(self, mode: str) -> None:
         self.belief_version += 1
+        self.propagated_version = self.graph_version
         counter = self._c_solves.get(mode)
         if counter is None:
             counter = self.registry.counter(
@@ -311,6 +363,9 @@ class _ServedGraph:
             "n_seeds": int(np.sum(self.session.seed_labels >= 0)),
             "graph_version": self.graph_version,
             "belief_version": self.belief_version,
+            "propagated_version": self.propagated_version,
+            "resident": True,
+            "reloadable": self.load_state is not None,
             "n_queries": self.n_queries,
             "n_deltas": self.n_deltas,
             "n_solves": self.n_solves,
@@ -341,6 +396,19 @@ class InferenceService:
         per-graph telemetry; defaults to the process-global registry
         (``repro.obs.metrics()``).  Loading a graph resets that graph
         name's series, so per-graph counters always start at zero.
+    max_sessions:
+        Bound on *resident* sessions.  Loading past the bound evicts the
+        least-recently-used reloadable session down to a stub; its next
+        touch transparently rebuilds it from source (plus the redo-log
+        replay when ``queue_dir`` is set).  ``None`` (default) keeps
+        everything resident.  Sessions loaded from a ready graph instance,
+        or carrying unlogged deltas (no queue), are never evicted.
+    queue_dir:
+        Directory for the per-session durable delta queues
+        (:class:`~repro.serve.queue.DeltaQueue`).  Every acknowledged
+        delta hits disk before its ack, so ``load_graph(recover=True)``
+        after a worker kill replays the log and loses nothing.  ``None``
+        disables durability (and with it deferred-ack crash safety).
     """
 
     def __init__(
@@ -348,25 +416,71 @@ class InferenceService:
         cache_entries: int = 1024,
         strict_deltas: bool = True,
         registry=None,
+        max_sessions: int | None = None,
+        queue_dir=None,
     ) -> None:
         self.cache_entries = int(cache_entries)
         self.strict_deltas = bool(strict_deltas)
         self.registry = registry if registry is not None else obs.metrics()
         self.started_at = time.time()
+        self.max_sessions = None if max_sessions is None else int(max_sessions)
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.queue = DeltaQueue(queue_dir) if queue_dir is not None else None
         self._graphs: dict[str, _ServedGraph] = {}
+        self._evicted: dict[str, dict] = {}  # name -> reload stub
         self._registry_lock = threading.RLock()
+        self._use_counter = itertools.count(1)
+        self._reload_locks: dict[str, threading.Lock] = {}
+        self._c_evictions = self.registry.counter(
+            "repro_serve_evictions_total",
+            "Sessions evicted to a reload stub by the LRU bound.",
+        )
+        self._c_reloads = self.registry.counter(
+            "repro_serve_reloads_total",
+            "Evicted sessions transparently rebuilt on touch.",
+        )
 
     # ------------------------------------------------------------- registry
     def graph_names(self) -> list[str]:
+        """Every loaded session name, resident or evicted-to-stub."""
         with self._registry_lock:
-            return sorted(self._graphs)
+            return sorted(set(self._graphs) | set(self._evicted))
 
     def _served(self, name: str) -> _ServedGraph:
-        with self._registry_lock:
-            try:
-                return self._graphs[name]
-            except KeyError:
-                raise UnknownGraphError(name, list(self._graphs)) from None
+        """The resident session for ``name``, reloading an evicted stub.
+
+        Touch accounting happens here: every access refreshes the LRU
+        position, so the eviction policy sees queries and deltas alike.
+        """
+        while True:
+            with self._registry_lock:
+                served = self._graphs.get(name)
+                if served is not None:
+                    served.last_used = next(self._use_counter)
+                    return served
+                if name not in self._evicted:
+                    raise UnknownGraphError(name, self.graph_names())
+            self._reload(name)
+
+    @contextmanager
+    def _locked(self, name: str):
+        """A resident session with its lock held, retrying across evictions.
+
+        The gap between :meth:`_served` returning and the session lock
+        being acquired can race an eviction (or an unload): the object is
+        then a ghost no longer in the registry, and writes to it would be
+        silently lost.  The ``evicted`` flag — flipped under the session
+        lock — makes the race detectable; detection retries through
+        :meth:`_served`, which reloads or raises.
+        """
+        while True:
+            served = self._served(name)
+            with served.session.lock:
+                if served.evicted:
+                    continue
+                yield served
+                return
 
     def load_graph(
         self,
@@ -388,6 +502,7 @@ class InferenceService:
         tolerance: float = 1e-8,
         localized: bool = False,
         replace: bool = False,
+        recover: bool = False,
     ) -> dict:
         """Load a graph under ``name`` and run its anchoring full solve.
 
@@ -400,6 +515,13 @@ class InferenceService:
         registered ``method`` (only when the propagator needs one).
         ``localized=True`` opts the session into residual-push localized
         solves for small deltas.  Returns the loaded graph's info dict.
+
+        With a durable queue attached, a fresh load **drops** any redo log
+        a previous same-named session left behind (the log described that
+        session, not this one), while ``recover=True`` **replays** it after
+        the anchoring solve — the re-placement path a router takes when a
+        worker died: the rebuilt session lands on the exact graph version
+        the dead worker's last acknowledgement named.
         """
         if not name or "/" in name:
             raise ServeError(f"invalid graph name {name!r} (non-empty, no '/')")
@@ -455,6 +577,29 @@ class InferenceService:
                 graph, seed_labels, method, method_kwargs, int(seed)
             )
 
+        # Everything a reload needs to rebuild this session *without*
+        # re-estimation or re-seeding: the frozen seed labels and
+        # compatibility make the rebuild bit-deterministic, the source
+        # fields make it possible at all.  Ready-graph loads get None — the
+        # instance is the only copy, so the session can never be evicted.
+        load_state = None
+        if source["path"] is not None or source["store"] is not None:
+            load_state = {
+                "path": source["path"],
+                "store": source["store"],
+                "run_hash": run_hash,
+                "propagator": propagator,
+                "propagator_kwargs": dict(propagator_kwargs or {}),
+                "iterations": int(iterations),
+                "tolerance": float(tolerance),
+                "localized": bool(localized),
+                "seed_labels": np.array(seed_labels, dtype=np.int64, copy=True),
+                "compatibility": (
+                    None if compatibility is None
+                    else np.array(compatibility, dtype=np.float64, copy=True)
+                ),
+            }
+
         # A (re)loaded graph starts its telemetry from zero: drop any series
         # a previous same-named load left on the registry *before* the new
         # session registers its own.
@@ -470,9 +615,17 @@ class InferenceService:
             metric_labels={"graph": name},
         )
         served = _ServedGraph(name, session, source, self.cache_entries, self.registry)
-        with session.lock, obs.span("serve.load", graph=name):
+        served.load_state = load_state
+        with session.lock, obs.span("serve.load", graph=name, recover=recover):
             step = session.propagate()
             served.record_solve(step.mode)
+            if self.queue is not None:
+                if recover:
+                    self._replay_queue(served)
+                else:
+                    # A fresh load owns the name: any redo log left by a
+                    # previous same-named session describes dead state.
+                    self.queue.drop(name)
 
         with self._registry_lock:
             if name in self._graphs and not replace:
@@ -480,8 +633,45 @@ class InferenceService:
                     f"a graph named {name!r} is already loaded "
                     "(pass replace=true to swap it)", status=409,
                 )
+            self._evicted.pop(name, None)
             self._graphs[name] = served
+            served.last_used = next(self._use_counter)
+        self._maybe_evict(keep=name)
         return served.info()
+
+    def _replay_queue(self, served: _ServedGraph) -> int:
+        """Replay a session's redo log onto its freshly anchored session.
+
+        Restores ``graph_version`` to the last logged sequence number —
+        the exact value the last pre-crash acknowledgement handed out as a
+        token — so read-your-writes fences keep holding across the
+        recovery.  Caller holds the session lock.
+        """
+        entries = self.queue.replay(served.name)
+        if not entries:
+            return 0
+        applied, errors, step = served.session.rehydrate(
+            [delta for _, delta in entries]
+        )
+        served.graph_version = entries[-1][0]
+        served._c_deltas.inc(applied)
+        # rehydrate() already propagated; stamp the solve so the belief
+        # version advances and propagated_version covers the replay.
+        if step is not None:
+            served.record_solve(step.mode)
+            served.clear_pending()
+        self.registry.counter(
+            "repro_serve_replayed_deltas_total",
+            "Redo-log deltas re-applied during session recovery.",
+            graph=served.name,
+        ).inc(applied)
+        if errors:  # should be impossible: same base graph, same order
+            self.registry.counter(
+                "repro_serve_replay_errors_total",
+                "Redo-log deltas that failed to re-apply during recovery.",
+                graph=served.name,
+            ).inc(len(errors))
+        return applied
 
     @staticmethod
     def _estimate_compatibility(
@@ -505,13 +695,150 @@ class InferenceService:
             ) from exc
         return estimation.compatibility
 
+    # ----------------------------------------------------- eviction / reload
+    def _evictable(self, served: _ServedGraph) -> bool:
+        """Can this session be dropped without losing acknowledged state?
+
+        Needs a reload recipe (``load_state``), and either a durable queue
+        covering its deltas or no deltas at all — evicting unlogged deltas
+        would silently violate every token already handed out.
+        """
+        return served.load_state is not None and (
+            self.queue is not None or served.graph_version == 0
+        )
+
+    def _maybe_evict(self, keep: str | None = None) -> None:
+        """Enforce ``max_sessions`` by evicting LRU reloadable sessions."""
+        if self.max_sessions is None:
+            return
+        while True:
+            with self._registry_lock:
+                if len(self._graphs) <= self.max_sessions:
+                    return
+                candidates = [
+                    served for served_name, served in self._graphs.items()
+                    if served_name != keep and self._evictable(served)
+                ]
+                if not candidates:
+                    return  # over budget but nothing is safely evictable
+                victim = min(candidates, key=lambda served: served.last_used)
+                victim_name = victim.name
+            if not self._evict(victim_name):
+                return
+
+    def _evict(self, name: str) -> bool:
+        """Demote one resident session to a reload stub.
+
+        Takes the session lock *inside* the registry lock (the same order
+        as :meth:`unload`), so in-flight operations on the victim finish
+        first and later ones — which re-check ``evicted`` under the session
+        lock — retry into a transparent reload.
+        """
+        with self._registry_lock:
+            served = self._graphs.get(name)
+            if served is None or not self._evictable(served):
+                return False
+            with served.session.lock:
+                served.evicted = True
+                del self._graphs[name]
+                self._evicted[name] = {
+                    "load_state": served.load_state,
+                    "source": dict(served.source),
+                    "graph_version": served.graph_version,
+                    "evicted_at": time.time(),
+                }
+            # The stub keeps no series alive; telemetry restarts from zero
+            # on reload, like any (re)load.  Counter consumers (the
+            # time-series recorder, federation) already clamp resets.
+            self.registry.reset_children(graph=name)
+        self._c_evictions.inc()
+        return True
+
+    def _reload_lock(self, name: str) -> threading.Lock:
+        with self._registry_lock:
+            return self._reload_locks.setdefault(name, threading.Lock())
+
+    def _reload(self, name: str) -> None:
+        """Rebuild an evicted session from its stub (source + redo log).
+
+        Serialized per name so concurrent touches pay for one rebuild; the
+        rebuild itself runs outside the registry lock — other sessions keep
+        serving while this one warms back up.
+        """
+        with self._reload_lock(name):
+            with self._registry_lock:
+                if name in self._graphs:
+                    return  # another touch already reloaded it
+                stub = self._evicted.get(name)
+                if stub is None:
+                    raise UnknownGraphError(name, self.graph_names())
+            state = stub["load_state"]
+            with obs.span("serve.reload", graph=name):
+                try:
+                    graph = load_serving_graph(
+                        path=state["path"],
+                        store=state["store"],
+                        run_hash=state["run_hash"],
+                    )
+                except GraphSourceError as exc:
+                    raise ServeError(
+                        f"could not reload evicted session {name!r}: {exc}",
+                        status=503,
+                    ) from exc
+                propagator_instance = PROPAGATORS[state["propagator"]](
+                    max_iterations=state["iterations"],
+                    tolerance=state["tolerance"],
+                    **(state["propagator_kwargs"] or {}),
+                )
+                self.registry.reset_children(graph=name)
+                session = StreamingSession(
+                    graph,
+                    propagator_instance,
+                    compatibility=state["compatibility"],
+                    seed_labels=state["seed_labels"],
+                    localized=state["localized"],
+                    strict=self.strict_deltas,
+                    registry=self.registry,
+                    metric_labels={"graph": name},
+                )
+                served = _ServedGraph(
+                    name, session, dict(stub["source"]),
+                    self.cache_entries, self.registry,
+                )
+                served.load_state = state
+                with session.lock:
+                    step = session.propagate()
+                    served.record_solve(step.mode)
+                    if self.queue is not None:
+                        self._replay_queue(served)
+            with self._registry_lock:
+                self._evicted.pop(name, None)
+                self._graphs[name] = served
+                served.last_used = next(self._use_counter)
+            self._c_reloads.inc()
+        self._maybe_evict(keep=name)
+
     def unload(self, name: str) -> dict:
         """Drop a served graph; returns its final info dict."""
         with self._registry_lock:
+            stub = self._evicted.pop(name, None)
+            if stub is not None:
+                # An evicted session unloads without being reloaded first.
+                if self.queue is not None:
+                    self.queue.drop(name)
+                return {
+                    "name": name,
+                    "source": stub["source"],
+                    "graph_version": stub["graph_version"],
+                    "resident": False,
+                }
             served = self._served(name)
             with served.session.lock:  # a consistent final snapshot
                 info = served.info()
+                served.evicted = True  # in-flight holders retry -> 404
             del self._graphs[name]
+            if self.queue is not None:
+                self.queue.drop(name)
             # Bound series cardinality: an unloaded graph stops exporting.
             self.registry.reset_children(graph=name)
         return info
@@ -556,9 +883,12 @@ class InferenceService:
             )
         return nodes
 
-    def query(self, name: str, nodes, top_k: int | None = None) -> QueryResult:
+    def query(
+        self, name: str, nodes, top_k: int | None = None,
+        min_version: int | None = None,
+    ) -> QueryResult:
         """Answer one query; equivalent to ``query_many`` with one request."""
-        result = self.query_many(name, [(nodes, top_k)])[0]
+        result = self.query_many(name, [(nodes, top_k, min_version)])[0]
         if isinstance(result, Exception):
             raise result
         return result
@@ -568,18 +898,33 @@ class InferenceService:
     ) -> list[QueryResult | Exception]:
         """Answer many queries under one lock with one vectorized lookup.
 
-        ``requests`` is a list of ``(nodes, top_k)`` pairs.  All cache
-        misses are gathered from the belief matrix in a single fancy-index
-        and (when any request wants a ranking) a single arg-sort — the
-        vectorization the micro-batcher banks on.  Returns one
-        :class:`QueryResult` **or** :class:`ServeError` per request, in
-        order; per-request failures never poison their batch siblings.
+        ``requests`` is a list of ``(nodes, top_k)`` pairs or
+        ``(nodes, top_k, min_version)`` triples.  All cache misses are
+        gathered from the belief matrix in a single fancy-index and (when
+        any request wants a ranking) a single arg-sort — the vectorization
+        the micro-batcher banks on.  Returns one :class:`QueryResult`
+        **or** :class:`ServeError` per request, in order; per-request
+        failures never poison their batch siblings.
+
+        Read-your-writes: deltas acknowledged in deferred mode may leave
+        the belief snapshot behind the graph — queries trigger the lazy
+        propagation here, so every answer reflects every acknowledged
+        delta.  A ``min_version`` token *ahead* of the session's
+        ``graph_version`` fails that request with status 412: the fence
+        that turns a lost acknowledged write (impossible while the durable
+        queue is intact) into a loud error instead of a silently stale
+        read.
         """
-        served = self._served(name)
         query_start = time.perf_counter()
-        with served.session.lock, obs.span(
+        with self._locked(name) as served, obs.span(
             "serve.query", graph=name, n_requests=len(requests)
         ):
+            # Lazy refresh: deferred-ack deltas are propagated at the first
+            # read that could observe them (one solve covers all of them).
+            if served.propagated_version < served.graph_version:
+                step = served.session.propagate()
+                served.record_solve(step.mode)
+                served.clear_pending()
             result = served.session.last_result
             if result is None:  # pragma: no cover - load always anchors
                 raise ServeError(f"graph {name!r} has no beliefs yet", status=503)
@@ -591,8 +936,27 @@ class InferenceService:
 
             outputs: list[QueryResult | Exception | None] = [None] * len(requests)
             misses: list[tuple[int, np.ndarray, int | None]] = []
-            for position, (nodes, top_k) in enumerate(requests):
+            for position, request in enumerate(requests):
+                nodes, top_k = request[0], request[1]
+                min_version = request[2] if len(request) > 2 else None
                 try:
+                    if min_version is not None:
+                        try:
+                            min_version = int(min_version)
+                        except (TypeError, ValueError) as exc:
+                            raise ServeError(
+                                f"min_version must be an integer: {exc}"
+                            ) from exc
+                        if min_version > served.graph_version:
+                            raise ServeError(
+                                f"read-your-writes fence: min_version "
+                                f"{min_version} is ahead of graph "
+                                f"{name!r} at version "
+                                f"{served.graph_version} — the token "
+                                "belongs to a different load, or the "
+                                "session lost acknowledged writes",
+                                status=412,
+                            )
                     node_array = self._check_nodes(nodes, n_nodes)
                     if top_k is not None:
                         try:
@@ -668,14 +1032,22 @@ class InferenceService:
             return outputs
 
     # --------------------------------------------------------------- deltas
-    def apply_delta(self, name: str, delta: GraphDelta) -> DeltaBatchResult:
+    def apply_delta(
+        self, name: str, delta: GraphDelta, propagate: bool = True,
+        delta_id: str | None = None,
+    ) -> DeltaBatchResult:
         """Apply one delta (raising on rejection); one propagation follows."""
-        outcome = self.apply_deltas(name, [delta])
+        outcome = self.apply_deltas(
+            name, [delta], propagate=propagate, delta_ids=[delta_id]
+        )
         if outcome.errors[0] is not None:
             raise ServeError(f"delta rejected: {outcome.errors[0]}")
         return outcome
 
-    def apply_deltas(self, name: str, deltas: list) -> DeltaBatchResult:
+    def apply_deltas(
+        self, name: str, deltas: list, propagate: bool = True,
+        delta_ids: list | None = None,
+    ) -> DeltaBatchResult:
         """Apply a batch of deltas with a *single* incremental propagation.
 
         Each delta is validated and applied individually — a rejected one
@@ -683,38 +1055,77 @@ class InferenceService:
         ``errors`` without blocking the rest.  The belief refresh happens
         once at the end, which is exactly the coalescing win: N concurrent
         deltas cost one propagation instead of N.
+
+        Each accepted delta's apply order becomes its read-your-writes
+        token in ``tokens``; with a durable queue attached, the delta is
+        on disk *before* this method returns (the token is a durability
+        receipt, not just an ordering one).  ``propagate=False`` defers
+        the belief refresh — the acknowledgement returns as soon as the
+        deltas are applied and durable; the refresh runs at the next
+        eager-mode batch or lazily at the next query, so read-your-writes
+        still holds.  ``delta_ids`` makes retries idempotent: an id the
+        durable queue has already logged is acknowledged with its original
+        token instead of being applied twice (a router re-sending after a
+        worker death cannot double-apply).
         """
-        served = self._served(name)
         delta_start = time.perf_counter()
-        with served.session.lock, obs.span(
+        if delta_ids is not None and len(delta_ids) != len(deltas):
+            raise ServeError(
+                f"delta_ids length {len(delta_ids)} != deltas length "
+                f"{len(deltas)}"
+            )
+        with self._locked(name) as served, obs.span(
             "serve.delta", graph=name, n_deltas=len(deltas)
         ):
             errors: list[str | None] = []
+            tokens: list[int | None] = []
             n_applied = 0
-            for delta in deltas:
+            for position, delta in enumerate(deltas):
+                delta_id = delta_ids[position] if delta_ids else None
+                if self.queue is not None and delta_id is not None:
+                    seq = self.queue.seen(name, delta_id)
+                    if seq is not None:
+                        # Idempotent retry: already durable and applied.
+                        errors.append(None)
+                        tokens.append(seq)
+                        continue
                 if not isinstance(delta, GraphDelta):
                     try:
                         delta = GraphDelta.from_dict(delta)
                     except (TypeError, ValueError) as exc:
                         errors.append(str(exc))
+                        tokens.append(None)
                         continue
                 try:
                     served.session.apply(delta)
                 except (TypeError, ValueError) as exc:
                     errors.append(str(exc))
+                    tokens.append(None)
                     continue
-                errors.append(None)
-                n_applied += 1
                 served.graph_version += 1
+                if self.queue is not None:
+                    # Durable before acknowledged: the log must agree with
+                    # the session (seq == graph_version) so recovery lands
+                    # on the exact version the token names.
+                    self.queue.append(
+                        name, delta.to_dict(), delta_id=delta_id
+                    )
+                errors.append(None)
+                tokens.append(served.graph_version)
+                n_applied += 1
                 served.record_delta_accepted()
             mode = reason = None
             propagate_seconds = 0.0
-            if n_applied:
+            propagated = False
+            if n_applied and propagate:
                 step = served.session.propagate()
                 mode, reason = step.mode, step.decision.reason
                 propagate_seconds = step.propagate_seconds
                 served.record_solve(step.mode)
                 served.clear_pending()
+                propagated = True
+            elif n_applied:
+                reason = "deferred"
             served._h_delta.observe(time.perf_counter() - delta_start)
             return DeltaBatchResult(
                 name=name,
@@ -727,6 +1138,8 @@ class InferenceService:
                 graph_version=served.graph_version,
                 belief_version=served.belief_version,
                 n_coalesced=len(deltas),
+                tokens=tokens,
+                propagated=propagated,
             )
 
     # --------------------------------------------------------------- health
@@ -741,6 +1154,7 @@ class InferenceService:
         """
         with self._registry_lock:
             served_list = list(self._graphs.values())
+            stubs = {name: dict(stub) for name, stub in self._evicted.items()}
         graphs = {}
         for served in served_list:
             locked = served.session.lock.acquire(blocking=False)
@@ -748,6 +1162,7 @@ class InferenceService:
                 graphs[served.name] = {
                     "live": served.session.last_result is not None,
                     "busy": not locked,
+                    "resident": True,
                     "graph_version": served.graph_version,
                     "belief_version": served.belief_version,
                     "staleness": served.staleness(),
@@ -755,6 +1170,16 @@ class InferenceService:
             finally:
                 if locked:
                     served.session.lock.release()
+        for name, stub in stubs.items():
+            # Evicted-to-stub sessions are healthy but cold: their state is
+            # fully recoverable (source + redo log), they just are not
+            # holding memory right now.
+            graphs[name] = {
+                "live": True,
+                "busy": False,
+                "resident": False,
+                "graph_version": stub["graph_version"],
+            }
         return graphs
 
     # ---------------------------------------------------------------- stats
@@ -762,15 +1187,33 @@ class InferenceService:
         """Service-wide stats: per-graph info plus global tallies."""
         with self._registry_lock:
             served_list = list(self._graphs.values())
+            stubs = {name: dict(stub) for name, stub in self._evicted.items()}
         graphs = {}
         for served in served_list:
             with served.session.lock:
                 graphs[served.name] = served.info()
-        return {
+        stats = {
             "uptime_seconds": time.time() - self.started_at,
-            "n_graphs": len(graphs),
+            "n_graphs": len(graphs) + len(stubs),
+            "n_resident": len(graphs),
+            "n_evicted": len(stubs),
+            "max_sessions": self.max_sessions,
+            "evictions": int(self._c_evictions.value),
+            "reloads": int(self._c_reloads.value),
+            "durable_queue": (
+                None if self.queue is None else str(self.queue.directory)
+            ),
             "n_queries": sum(info["n_queries"] for info in graphs.values()),
             "n_deltas": sum(info["n_deltas"] for info in graphs.values()),
             "n_solves": sum(info["n_solves"] for info in graphs.values()),
             "graphs": graphs,
         }
+        for name, stub in stubs.items():
+            stats["graphs"][name] = {
+                "name": name,
+                "source": stub["source"],
+                "graph_version": stub["graph_version"],
+                "resident": False,
+                "n_queries": 0, "n_deltas": 0, "n_solves": 0,
+            }
+        return stats

@@ -556,6 +556,36 @@ class StreamingSession:
             outcome.apply_seconds = apply_seconds
             return outcome
 
+    def rehydrate(self, deltas) -> tuple[int, list, StreamStep | None]:
+        """Replay a redo log: apply every delta, then propagate once.
+
+        The serving tier uses this to rebuild a session from its durable
+        delta queue after an eviction or a worker death — N acknowledged
+        deltas are re-applied under one lock hold with a *single* belief
+        refresh at the end, not N.  Returns ``(n_applied, errors, step)``
+        where ``errors`` holds ``(position, message)`` pairs for deltas
+        that no longer apply (a log replayed onto the same base graph in
+        the same order should never produce any; entries are surfaced, not
+        raised, so one damaged record cannot strand the whole session) and
+        ``step`` is the closing solve (None when nothing applied).
+        """
+        applied = 0
+        errors: list[tuple[int, str]] = []
+        step: StreamStep | None = None
+        with self.lock, obs.span("stream.rehydrate", graph=self.graph.name):
+            for position, delta in enumerate(deltas):
+                if not isinstance(delta, GraphDelta):
+                    delta = GraphDelta.from_dict(delta)
+                try:
+                    self._apply(delta)
+                except (TypeError, ValueError) as exc:
+                    errors.append((position, str(exc)))
+                    continue
+                applied += 1
+            if applied:
+                step = self._propagate()
+        return applied, errors, step
+
     # ---------------------------------------------------------------- helpers
     def _localized_hint(self, previous: PropagationResult) -> LocalizedHint | None:
         """Rows the pending deltas may have disturbed, or None to dense-seed.

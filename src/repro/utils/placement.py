@@ -1,0 +1,72 @@
+"""Deterministic hash placement shared by grid sharding and session routing.
+
+Two layers of the system spread named work over N peers and must agree with
+themselves forever:
+
+* :meth:`repro.runner.spec.GridSpec.shard` assigns every run to one of N
+  shard processes by its SHA-256 content hash — the assignment has to stay
+  bit-for-bit stable across releases or per-machine result caches go cold;
+* the serving router (:mod:`repro.serve.router`) assigns every named
+  session to one of N worker processes — the assignment has to be
+  recomputable by anyone (router, smart clients, a recovering supervisor)
+  from nothing but the name and the worker count.
+
+Both use the same primitive: interpret the leading 64 bits of a SHA-256
+hex digest as an integer and reduce it modulo N.  Keeping the primitive in
+one place is the point of this module — the runner and the router cannot
+drift apart, and the regression tests pin the exact arithmetic.
+
+A useful consequence of plain modulo placement: for worker counts along a
+divisor chain (1, 2, 4, 8…), ``digest % (n/k)`` is fully determined by
+``digest % n`` — halving a fleet never splits the sessions of one
+surviving worker across two targets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["assign_hex", "place", "placement_map"]
+
+
+def assign_hex(hex_digest: str, n: int) -> int:
+    """Assign a hex digest to one of ``n`` buckets.
+
+    This is the exact arithmetic :meth:`GridSpec.shard` has used since the
+    sharded runner shipped: the first 16 hex characters (64 bits) of the
+    digest, as an integer, modulo ``n``.  Do not change it — existing shard
+    assignments (and therefore per-machine result caches) depend on it.
+    """
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"bucket count must be >= 1, got {n}")
+    if len(hex_digest) < 16:
+        raise ValueError(
+            f"need at least 16 hex characters, got {len(hex_digest)} "
+            f"({hex_digest!r})"
+        )
+    return int(hex_digest[:16], 16) % n
+
+
+def place(name: str, n: int) -> int:
+    """Deterministically place a name onto one of ``n`` peers.
+
+    The name is hashed with SHA-256 first, so placement quality does not
+    depend on the shape of human-chosen names; the reduction is
+    :func:`assign_hex` — the same arithmetic as grid sharding.
+    """
+    digest = hashlib.sha256(str(name).encode("utf-8")).hexdigest()
+    return assign_hex(digest, n)
+
+
+def placement_map(names, n: int) -> dict[int, list[str]]:
+    """Group ``names`` by their assigned peer: ``{index: [name, ...]}``.
+
+    Every index in ``range(n)`` is present (possibly empty), so callers can
+    iterate peers without guarding for missing keys.
+    """
+    n = int(n)
+    groups: dict[int, list[str]] = {index: [] for index in range(n)}
+    for name in names:
+        groups[place(name, n)].append(str(name))
+    return groups

@@ -1,0 +1,127 @@
+"""Placement module: the shared hash-assignment arithmetic must never move.
+
+Both grid sharding (per-machine result caches) and router session placement
+(which worker owns which session, recomputable by anyone) depend on this
+assignment staying bit-for-bit stable forever.  These tests pin the exact
+arithmetic with frozen golden values and prove :meth:`GridSpec.shard` still
+produces the assignments it produced before the extraction.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.runner.spec import GridSpec
+from repro.utils.placement import assign_hex, place, placement_map
+
+
+def legacy_assignment(hex_digest: str, n: int) -> int:
+    """The literal expression GridSpec.shard used before the extraction."""
+    return int(hex_digest[:16], 16) % n
+
+
+# --------------------------------------------------------------- primitives
+def test_assign_hex_matches_legacy_expression():
+    digests = [hashlib.sha256(bytes([b])).hexdigest() for b in range(64)]
+    for digest in digests:
+        for n in (1, 2, 3, 4, 7, 8, 16):
+            assert assign_hex(digest, n) == legacy_assignment(digest, n)
+
+
+def test_assign_hex_validates_inputs():
+    digest = hashlib.sha256(b"x").hexdigest()
+    with pytest.raises(ValueError):
+        assign_hex(digest, 0)
+    with pytest.raises(ValueError):
+        assign_hex("abc", 4)  # fewer than 16 hex chars
+
+
+def test_place_golden_values_frozen():
+    # Golden assignments: these exact values are load-bearing — a session
+    # named 'default' must map to the same worker in every release, or a
+    # router restart against a durable queue directory would re-place
+    # sessions and strand their queues.
+    golden = {
+        ("default", 4): 1, ("default", 8): 5,
+        ("bench", 4): 0, ("bench", 8): 0,
+        ("cora", 4): 1, ("cora", 8): 5,
+        ("pokec", 4): 1, ("pokec", 8): 5,
+        ("graph-0", 4): 1, ("graph-0", 8): 1,
+        ("graph-1", 4): 1, ("graph-1", 8): 1,
+        ("w", 4): 0, ("w", 8): 0,
+    }
+    for (name, n), expected in golden.items():
+        assert place(name, n) == expected, (name, n)
+
+
+def test_place_is_sha256_of_the_name():
+    digest = hashlib.sha256("my-session".encode("utf-8")).hexdigest()
+    for n in (1, 2, 5, 8):
+        assert place("my-session", n) == legacy_assignment(digest, n)
+
+
+def test_place_divisor_chain_consistency():
+    # digest % (n/k) is determined by digest % n: halving a fleet maps each
+    # worker's sessions onto exactly one surviving worker.
+    names = [f"session-{i}" for i in range(200)]
+    for name in names:
+        assert place(name, 4) % 2 == place(name, 2)
+        assert place(name, 8) % 4 == place(name, 4)
+        assert place(name, 1) == 0
+
+
+def test_placement_map_covers_all_indices():
+    groups = placement_map(["a", "b", "c"], 4)
+    assert sorted(groups) == [0, 1, 2, 3]
+    assert sum(len(v) for v in groups.values()) == 3
+    for index, members in groups.items():
+        for name in members:
+            assert place(name, 4) == index
+
+
+def test_placement_spreads_reasonably():
+    groups = placement_map([f"s{i}" for i in range(400)], 4)
+    sizes = [len(v) for v in groups.values()]
+    # SHA-256 is uniform: each bucket of 400 names should get 100 +/- wide
+    # slack; an off-by-one in the arithmetic would typically empty a bucket.
+    assert min(sizes) > 50 and max(sizes) < 150, sizes
+
+
+# ------------------------------------------------------- GridSpec regression
+def _small_grid() -> GridSpec:
+    return GridSpec(
+        name="placement-regression",
+        graphs=[
+            {"kind": "generate", "n_nodes": 50, "n_edges": 120, "seed": s}
+            for s in range(3)
+        ],
+        estimators=["GS", "LCE"],
+        propagators=["linbp"],
+        label_fractions=[0.05, 0.1],
+        n_repetitions=2,
+    )
+
+
+def test_gridspec_shard_assignment_unchanged_bit_for_bit():
+    grid = _small_grid()
+    for n_shards in (2, 3, 4):
+        for index in range(n_shards):
+            shard_hashes = {run.content_hash
+                            for run in grid.shard(index, n_shards)}
+            expected = {
+                run.content_hash
+                for run in grid.expand()
+                if legacy_assignment(run.content_hash, n_shards) == index
+            }
+            assert shard_hashes == expected, (index, n_shards)
+
+
+def test_gridspec_shard_still_partitions():
+    grid = _small_grid()
+    everything = {run.content_hash for run in grid.expand()}
+    union: set = set()
+    for index in range(3):
+        part = {run.content_hash for run in grid.shard(index, 3)}
+        assert not (union & part)
+        union |= part
+    assert union == everything
