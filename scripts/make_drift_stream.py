@@ -1,0 +1,111 @@
+"""Regenerate examples/streams/drift_events.jsonl (committed artifact).
+
+A label-noise event stream against the CI serve graph
+(``repro generate --nodes 500 --edges 2500 --classes 3 --skew 3 --seed 2``,
+served with ``--fraction 0.1 --seed 0``): the first events reveal *true*
+labels, the rest reveal adversarially permuted ones, so a replay shows
+prequential accuracy collapsing and the compatibility-drift gauge rising.
+CI's quality smoke drives this stream at a live fleet and asserts exactly
+that; the script verifies the same properties by replaying the stream
+through a session before writing the file.
+
+Usage: PYTHONPATH=src python scripts/make_drift_stream.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.compatibility import skew_compatibility
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.seeding import stratified_seed_labels
+from repro.graph.generator import generate_graph
+from repro.propagation.engine import get_propagator
+from repro.stream import GraphDelta, StreamingSession
+from repro.stream.replay import replay_events
+
+OUTPUT = Path(__file__).resolve().parent.parent / "examples/streams/drift_events.jsonl"
+
+N_CLEAN_EVENTS = 4
+N_NOISY_EVENTS = 8
+REVEALS_PER_EVENT = 12
+EDGES_PER_EVENT = 4
+
+
+def fresh_edges(rng, existing: set, n_nodes: int, count: int) -> list:
+    edges = []
+    while len(edges) < count:
+        u, v = (int(x) for x in rng.integers(0, n_nodes, 2))
+        u, v = min(u, v), max(u, v)
+        if u == v or (u, v) in existing:
+            continue
+        existing.add((u, v))
+        edges.append([u, v])
+    return edges
+
+
+def main() -> None:
+    graph = generate_graph(
+        500, 2_500, skew_compatibility(3, h=3.0), seed=2, name="drift-stream"
+    )
+    truth = graph.require_labels()
+    seeds = stratified_seed_labels(truth, fraction=0.1, rng=0)
+    hidden = list(np.flatnonzero(seeds < 0))
+    rng = np.random.default_rng(17)
+    rng.shuffle(hidden)
+    existing = set(
+        (min(int(u), int(v)), max(int(u), int(v)))
+        for u, v in zip(*graph.adjacency.nonzero())
+    )
+
+    events = []
+    cursor = 0
+    for index in range(N_CLEAN_EVENTS + N_NOISY_EVENTS):
+        nodes = hidden[cursor: cursor + REVEALS_PER_EVENT]
+        cursor += REVEALS_PER_EVENT
+        noisy = index >= N_CLEAN_EVENTS
+        reveal = [
+            [int(node), int((truth[node] + 1) % 3 if noisy else truth[node])]
+            for node in nodes
+        ]
+        events.append({
+            "add_edges": fresh_edges(rng, existing, 500, EDGES_PER_EVENT),
+            "reveal": reveal,
+        })
+
+    # Verify the stream actually shows the story before committing it.
+    deltas = [GraphDelta.from_dict(event) for event in events]
+    propagator = get_propagator("linbp", max_iterations=300, tolerance=1e-8)
+    compatibility = gold_standard_compatibility(graph)  # serve's GS estimate
+    clean_report = replay_events(
+        graph.copy(), deltas[:N_CLEAN_EVENTS], propagator,
+        compatibility=compatibility, seed_labels=seeds.copy(), score=False,
+    )
+    full_report = replay_events(
+        graph.copy(), deltas, propagator,
+        compatibility=compatibility, seed_labels=seeds.copy(), score=False,
+    )
+    clean = clean_report.quality
+    full = full_report.quality
+    clean_accuracy = clean["prequential"]["accuracy"]
+    late_scored = full["prequential"]["scored"] - clean["prequential"]["scored"]
+    late_correct = full["prequential"]["correct"] - clean["prequential"]["correct"]
+    late_accuracy = late_correct / late_scored
+    drift_before, drift_after = clean["drift"]["value"], full["drift"]["value"]
+    print(f"clean-phase accuracy: {clean_accuracy:.3f}")
+    print(f"noisy-phase accuracy: {late_accuracy:.3f}")
+    print(f"drift: {drift_before:.3f} -> {drift_after:.3f}")
+    assert clean_accuracy - late_accuracy > 0.3, "label noise must tank accuracy"
+    assert drift_after - drift_before > 0.1, "label noise must move the drift gauge"
+
+    with OUTPUT.open("w") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    print(f"wrote {len(events)} events to {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -759,6 +759,17 @@ def _command_stream(args: argparse.Namespace) -> int:
         print(f"verified full re-solve speedup: {report.verified_speedup:.2f}x")
     if report.max_deviation is not None:
         print(f"max verified deviation: {report.max_deviation:.2e}")
+    quality = report.quality or {}
+    prequential = quality.get("prequential") or {}
+    if prequential.get("scored"):
+        drift = (quality.get("drift") or {}).get("value")
+        churn = quality.get("churn") or {}
+        line = (f"prequential accuracy: {prequential['accuracy']:.4f} "
+                f"({prequential['scored']} reveals scored, "
+                f"top-{prequential['top_k']} hits {prequential['topk_hits']})")
+        print(line)
+        print(f"belief churn: {churn.get('flips_total', 0)} argmax flips"
+              + (f"; compatibility drift: {drift:.4f}" if drift is not None else ""))
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -835,6 +846,14 @@ def _serve_router(args: argparse.Namespace) -> int:
         worker_args.append("--no-batching")
     if args.max_sessions is not None:
         worker_args += ["--max-sessions", str(args.max_sessions)]
+    if args.slo:
+        # Each worker runs the spec against its own recorder; the router's
+        # /healthz aggregation surfaces any worker's firing rules.
+        slo_path = Path(args.slo)
+        if not slo_path.exists():
+            raise CLIError(f"SLO spec file not found: {slo_path}")
+        worker_args += ["--slo", str(slo_path),
+                        "--slo-interval", str(args.slo_interval)]
     router = Router(
         args.workers,
         host=args.host,

@@ -64,6 +64,12 @@ from repro.obs.report import (
     render_trace_tree,
     summarize_spans,
 )
+from repro.obs.quality import (
+    ACCURACY_BUCKETS,
+    QualityMonitor,
+    empirical_compatibility,
+    normalized_drift,
+)
 from repro.obs.scrape import (
     MetricsScraper,
     PrometheusParseError,
@@ -133,6 +139,10 @@ __all__ = [
     "SloRule",
     "RuleStatus",
     "SloSpecError",
+    "QualityMonitor",
+    "ACCURACY_BUCKETS",
+    "empirical_compatibility",
+    "normalized_drift",
     "configure_sampling",
     "sampling",
     "trace_sampled",

@@ -408,11 +408,17 @@ def diff_snapshots(before: dict, after: dict) -> dict:
                 # Instrument *creation* happens even while recording is
                 # disabled, so a brand-new child can still be all-zero —
                 # shipping it would be noise (and, merged, would register
-                # phantom series on the target registry).
+                # phantom series on the target registry).  Likewise an
+                # unchanged gauge carries no information in a delta.
                 if prior is None and kind == "counter" and not child["value"]:
                     continue
                 if prior is None and kind == "histogram" and not child["count"]:
                     continue
+                if kind == "gauge":
+                    if prior is None and not child["value"]:
+                        continue
+                    if prior is not None and child["value"] == prior["value"]:
+                        continue
                 delta = dict(child)
             elif kind == "counter":
                 delta = {"value": child["value"] - prior["value"]}

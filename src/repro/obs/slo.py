@@ -13,6 +13,11 @@ Rule kinds (``kind`` field):
 ``quantile_max``
     Sliding-window histogram quantile must stay <= ``max`` (latency SLOs:
     ``{"metric": "repro_http_request_seconds", "q": 0.99, "max": 0.25}``).
+``min_quantile``
+    Sliding-window histogram quantile must stay >= ``min`` — the
+    quality-floor dual of ``quantile_max`` (accuracy SLOs:
+    ``{"metric": "repro_quality_prequential_accuracy", "q": 0.5,
+    "min": 0.6}``).
 ``rate_max`` / ``rate_min``
     Windowed counter rate ceiling / floor (error-rate ceilings, traffic
     liveness floors).
@@ -42,6 +47,7 @@ __all__ = ["RuleStatus", "SloRule", "SloSpec", "SloSpecError"]
 
 _KINDS = (
     "quantile_max",
+    "min_quantile",
     "rate_max",
     "rate_min",
     "gauge_max",
@@ -148,9 +154,9 @@ class SloRule:
         )
         if kind in ("quantile_max", "rate_max", "gauge_max", "ratio_max"):
             _require(rule.max is not None, name, f"kind {kind} needs 'max'")
-        if kind in ("rate_min", "gauge_min"):
+        if kind in ("min_quantile", "rate_min", "gauge_min"):
             _require(rule.min is not None, name, f"kind {kind} needs 'min'")
-        if kind == "quantile_max":
+        if kind in ("quantile_max", "min_quantile"):
             _require(0.0 < rule.q < 1.0, name, "'q' must be in (0, 1)")
         if kind in ("ratio_max", "burn_rate"):
             _require(bool(rule.denominator), name, f"kind {kind} needs 'denominator'")
@@ -185,6 +191,19 @@ class SloRule:
             ok, value, self.max, True,
             f"p{self.q * 100:g} over {self.window_seconds:g}s = {value:.6g} "
             f"({'<=' if ok else '>'} {self.max:g})",
+        )
+
+    def _eval_min_quantile(self, recorder) -> RuleStatus:
+        value = recorder.quantile(
+            self.metric, self.q, self.window_seconds, **self.labels
+        )
+        if value is None:
+            return self._no_data(self.min)
+        ok = value >= self.min
+        return self._status(
+            ok, value, self.min, True,
+            f"p{self.q * 100:g} over {self.window_seconds:g}s = {value:.6g} "
+            f"({'>=' if ok else '<'} {self.min:g})",
         )
 
     def _rate(self, recorder):

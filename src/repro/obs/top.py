@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import math
 
-from repro.obs.timeseries import TimeSeriesRecorder, counter_total, gauge_value
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    counter_total,
+    gauge_value,
+    iter_children,
+)
 from repro.obs.scrape import MetricsScraper
 
 __all__ = ["TopClient", "sparkline", "render"]
@@ -35,6 +40,10 @@ HTTP_SECONDS = "repro_http_request_seconds"
 QUEUE_DEPTH = "repro_batcher_queue_depth"
 CACHE_HITS = "repro_serve_cache_hits_total"
 CACHE_MISSES = "repro_serve_cache_misses_total"
+# Quality families (emitted by repro.obs.quality through the sessions).
+PREQUENTIAL = "repro_quality_prequential_total"
+QUALITY_FLIPS = "repro_quality_flips_total"
+QUALITY_DRIFT = "repro_quality_drift"
 
 
 def sparkline(values, width: int = 30) -> str:
@@ -56,6 +65,48 @@ def _ratio(numerator, denominator) -> float | None:
     if numerator is None or denominator is None or denominator <= 0:
         return None
     return numerator / denominator
+
+
+def _max_gauge(snapshot: dict, name: str) -> float | None:
+    """Max over a gauge family's children (drift: worst session wins —
+    the instance-summing federation semantics would add unrelated
+    sessions' drifts together)."""
+    values = [
+        float(payload.get("value", 0.0))
+        for _, payload in iter_children(snapshot, name)
+    ]
+    return max(values) if values else None
+
+
+def _accuracy_series(recorder, window_seconds: float) -> list[tuple[float, float]]:
+    """Per-interval prequential accuracy (delta correct / delta scored)."""
+    points: list[tuple[float, float]] = []
+    previous: tuple[float, float, float] | None = None
+    for ts, snapshot in recorder.window(window_seconds):
+        correct = counter_total(snapshot, PREQUENTIAL, {"outcome": "correct"})
+        wrong = counter_total(snapshot, PREQUENTIAL, {"outcome": "wrong"})
+        if correct is None and wrong is None:
+            continue
+        correct = correct or 0.0
+        scored = correct + (wrong or 0.0)
+        if previous is not None:
+            _, prev_correct, prev_scored = previous
+            delta_scored = scored - prev_scored
+            delta_correct = correct - prev_correct
+            if delta_scored > 0 and delta_correct >= 0:
+                points.append((ts, delta_correct / delta_scored))
+        previous = (ts, correct, scored)
+    return points
+
+
+def _drift_series(recorder, window_seconds: float) -> list[tuple[float, float]]:
+    """Worst-session drift per sample."""
+    points: list[tuple[float, float]] = []
+    for ts, snapshot in recorder.window(window_seconds):
+        value = _max_gauge(snapshot, QUALITY_DRIFT)
+        if value is not None:
+            points.append((ts, value))
+    return points
 
 
 class TopClient:
@@ -93,10 +144,19 @@ class TopClient:
         snapshot = state.get("snapshot")
         row = {"up": state["up"], "error": state["error"]}
         if snapshot is None:
-            row.update(queries_total=None, http_requests_total=None)
+            row.update(queries_total=None, http_requests_total=None, gauges={})
             return row
         row["queries_total"] = counter_total(snapshot, QUERIES)
         row["http_requests_total"] = counter_total(snapshot, HTTP_REQUESTS)
+        # Every gauge family, summed per instance: counters and histograms
+        # reach the JSON output through the recorder series, but gauges
+        # (queue depth, the quality drift gauge) were invisible per
+        # instance before this.
+        row["gauges"] = {
+            name: counter_total(snapshot, name)
+            for name, family in sorted(snapshot.get("families", {}).items())
+            if family.get("kind") == "gauge"
+        }
         return row
 
     def summary(self) -> dict:
@@ -130,12 +190,31 @@ class TopClient:
             "queue_depth": gauge_value(federated, QUEUE_DEPTH),
             "cache_hit_ratio": _ratio(cache_hits, cache_lookups),
         }
+        # Fleet quality: prequential counters sum across instances (the
+        # accuracy is therefore example-weighted); the drift gauge takes
+        # the worst session anywhere in the fleet.
+        correct = counter_total(federated, PREQUENTIAL, {"outcome": "correct"})
+        wrong = counter_total(federated, PREQUENTIAL, {"outcome": "wrong"})
+        scored = (correct or 0.0) + (wrong or 0.0)
+        window_correct = recorder.counter_delta(
+            PREQUENTIAL, window, outcome="correct"
+        )
+        window_wrong = recorder.counter_delta(PREQUENTIAL, window, outcome="wrong")
+        window_scored = (window_correct or 0.0) + (window_wrong or 0.0)
+        quality = {
+            "scored": scored,
+            "accuracy": _ratio(correct, scored),
+            "window_accuracy": _ratio(window_correct, window_scored),
+            "drift_max": _max_gauge(federated, QUALITY_DRIFT),
+            "flips_total": counter_total(federated, QUALITY_FLIPS),
+        }
         return {
             "window_seconds": window,
             "samples": len(recorder),
             "instances_up": sum(1 for row in instances.values() if row["up"]),
             "instances": instances,
             "fleet": fleet,
+            "quality": quality,
         }
 
 
@@ -150,6 +229,7 @@ def render(client: TopClient, width: int = 30) -> str:
     """The full-screen dashboard body for one refresh."""
     summary = client.summary()
     fleet = summary["fleet"]
+    quality = summary["quality"]
     recorder = client.recorder
     window = summary["window_seconds"]
     lines = [
@@ -163,12 +243,21 @@ def render(client: TopClient, width: int = 30) -> str:
         f"   p99 {_fmt(_ms(fleet['p99_seconds']), 'ms')}",
         f"  queue      {_fmt(fleet['queue_depth'], '', 0)}"
         f"   cache hit {_fmt(_pct(fleet['cache_hit_ratio']), '%')}",
+        f"  quality    acc {_fmt(_pct(quality['accuracy']), '%')}"
+        f" ({_fmt(quality['scored'], '', 0)} scored)"
+        f"   drift {_fmt(quality['drift_max'], '', 3)}"
+        f"   flips {_fmt(quality['flips_total'], '', 0)}",
         "",
     ]
     qps_series = [v for _, v in recorder.series(QUERIES, window)]
     depth_series = [v for _, v in recorder.series(QUEUE_DEPTH, window, kind="gauge")]
     lines.append(f"  qps   {sparkline(qps_series, width)}")
     lines.append(f"  queue {sparkline(depth_series, width)}")
+    accuracy_series = [v for _, v in _accuracy_series(recorder, window)]
+    drift_series = [v for _, v in _drift_series(recorder, window)]
+    if accuracy_series or drift_series:
+        lines.append(f"  acc   {sparkline(accuracy_series, width)}")
+        lines.append(f"  drift {sparkline(drift_series, width)}")
     lines.append("")
     lines.append(f"  {'instance':<24} {'up':<5} {'queries':>12} {'http':>12}")
     for name, row in summary["instances"].items():

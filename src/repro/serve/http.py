@@ -12,6 +12,10 @@ dependencies) exposing:
 * ``GET /graphs/<name>/stats`` — per-mode solve counts (full /
   incremental / localized) plus cumulative touched-nonzeros and the active
   kernel backend;
+* ``GET /graphs/<name>/quality`` — model-quality telemetry (prequential
+  accuracy, belief churn, calibration, compatibility drift) and
+  ``GET /quality`` — the same for every resident graph plus an
+  instance-level rollup;
 * ``POST /graphs/<name>/delta`` — apply a delta (the JSONL event-record
   format of :meth:`repro.stream.delta.GraphDelta.from_dict`);
 * ``POST /graphs/<name>/query`` — ``{"nodes": [...], "top_k": 2}`` →
@@ -266,8 +270,14 @@ class ServeHandler(BaseHTTPRequestHandler):
             if len(parts) == 2 and parts[0] == "graphs":
                 self._send_json(service.info(parts[1]))
                 return True
+            if parts == ["quality"]:
+                self._send_json(service.quality())
+                return True
             if len(parts) == 3 and parts[0] == "graphs" and parts[2] == "stats":
                 self._send_json(service.graph_stats(parts[1]))
+                return True
+            if len(parts) == 3 and parts[0] == "graphs" and parts[2] == "quality":
+                self._send_json(service.graph_quality(parts[1]))
                 return True
             return False
         if method == "DELETE":

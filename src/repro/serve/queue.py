@@ -19,8 +19,13 @@ lands on the same graph version the last acknowledgement named.
 Records are ``{"seq": n, "delta": {...}}`` with an optional client-supplied
 ``"id"``.  Ids make retries idempotent: a router that re-sends a delta
 after a worker died mid-request cannot double-apply it — the queue
-remembers every id it has seen (rebuilt from the file on replay) and
-reports the original sequence number instead of appending again.
+remembers recently seen ids (rebuilt from the file on replay) and reports
+the original sequence number instead of appending again.  The dedupe set
+is LRU-bounded (``max_seen_ids``) so a long-lived session cannot grow it
+without limit: retries arrive within seconds of the original, so evicting
+the oldest ids is safe, and evictions are counted on the
+``repro_queue_seen_ids_evicted_total`` metric in case a deployment ever
+needs a bigger cap.
 """
 
 from __future__ import annotations
@@ -31,14 +36,22 @@ import re
 import threading
 from pathlib import Path
 
+from repro import obs
+
 try:
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
-__all__ = ["DeltaQueue", "QueueCorruptionError"]
+__all__ = ["DEFAULT_MAX_SEEN_IDS", "DeltaQueue", "QueueCorruptionError"]
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]")
+
+# Default LRU cap on the per-session id-dedupe map.  Ids exist to absorb
+# router retries, which follow the original request within seconds — by
+# the time 10k newer deltas have landed, a duplicate of an older one can
+# only be a replayed log (handled separately), not a retry.
+DEFAULT_MAX_SEEN_IDS = 10_000
 
 
 class QueueCorruptionError(RuntimeError):
@@ -72,13 +85,34 @@ class DeltaQueue:
         Where the ``<session>.deltas.jsonl`` files live.  Created on
         demand.  A router shares one directory across all its workers, so
         a session's log survives the worker that wrote it.
+    max_seen_ids:
+        LRU cap on each session's in-memory id-dedupe map (the on-disk
+        log is never touched).  ``None`` disables the bound.
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory, max_seen_ids: int | None = DEFAULT_MAX_SEEN_IDS) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if max_seen_ids is not None and max_seen_ids < 1:
+            raise ValueError(f"max_seen_ids must be >= 1, got {max_seen_ids}")
+        self.max_seen_ids = max_seen_ids
         self._logs: dict[str, _SessionLog] = {}
         self._lock = threading.Lock()
+        self._c_evicted = obs.metrics().counter(
+            "repro_queue_seen_ids_evicted_total",
+            "Delta ids dropped from the LRU-bounded dedupe map.",
+        )
+
+    def _evict_seen_ids(self, log: _SessionLog) -> None:
+        """Drop oldest ids past the cap (dicts iterate in insertion order)."""
+        if self.max_seen_ids is None:
+            return
+        excess = len(log.seen_ids) - self.max_seen_ids
+        if excess <= 0:
+            return
+        for delta_id in list(log.seen_ids)[:excess]:
+            del log.seen_ids[delta_id]
+        self._c_evicted.inc(excess)
 
     # ---------------------------------------------------------------- paths
     def path_for(self, session: str) -> Path:
@@ -106,7 +140,10 @@ class DeltaQueue:
             delta_id = str(delta_id)
         with self._lock:
             if delta_id is not None and delta_id in log.seen_ids:
-                return log.seen_ids[delta_id]
+                # LRU refresh: a retried id stays hot while it is in use.
+                seq = log.seen_ids.pop(delta_id)
+                log.seen_ids[delta_id] = seq
+                return seq
             if log.truncated_tail is not None:
                 self._repair_truncated_tail(log)
             seq = log.next_seq
@@ -140,6 +177,7 @@ class DeltaQueue:
             log.next_seq = seq + 1
             if delta_id is not None:
                 log.seen_ids[delta_id] = seq
+                self._evict_seen_ids(log)
             return seq
 
     @staticmethod
@@ -222,6 +260,9 @@ class DeltaQueue:
         with self._lock:
             log.next_seq = (entries[-1][0] + 1) if entries else 1
             log.seen_ids = seen
+            # The file may hold more ids than the cap allows in memory;
+            # keep the most recent ones (insertion order == log order).
+            self._evict_seen_ids(log)
             log.truncated_tail = truncated
         return entries
 
@@ -248,7 +289,10 @@ class DeltaQueue:
         """
         log = self._log(session)
         with self._lock:
-            return log.seen_ids.get(str(delta_id))
+            seq = log.seen_ids.pop(str(delta_id), None)
+            if seq is not None:
+                log.seen_ids[str(delta_id)] = seq  # LRU refresh
+            return seq
 
     def sessions(self) -> list[str]:
         """Session names with a redo log on disk (filename-mangled form)."""

@@ -299,7 +299,14 @@ class Router:
 
     # ---------------------------------------------------------- supervision
     def _supervise(self) -> None:
+        # Sleep *before* the first sweep: every worker was health-gated
+        # moments ago in start(), and sweeping immediately races tests (and
+        # operators) that kill a worker right after startup expecting a
+        # large supervise_interval to mean "supervision effectively off".
         while not self._stop.is_set():
+            self._stop.wait(self.supervise_interval)
+            if self._stop.is_set():
+                return
             for handle in self.workers:
                 if self._stop.is_set():
                     return
@@ -308,7 +315,6 @@ class Router:
                         self.recover(handle.index, handle.generation)
                     except Exception:  # pragma: no cover - keep supervising
                         pass
-            self._stop.wait(self.supervise_interval)
 
     def recover(self, index: int, dead_generation: int) -> bool:
         """Respawn a dead worker and re-place every session it owned.
@@ -543,6 +549,51 @@ class Router:
             )
         return obs.render_prometheus([federate_snapshots(labeled)])
 
+    def quality(self) -> dict:
+        """Fleet-aggregated model quality across every worker.
+
+        Each session lives on exactly one worker, so the per-graph
+        payloads concatenate disjointly; the fleet rollup pools the
+        prequential counts (example-weighted accuracy) and takes the
+        worst drift, matching the worker-level rollup semantics.
+        """
+        graphs: dict = {}
+        workers = []
+        scored = correct = 0
+        drift_values: list[float] = []
+        for handle in self.workers:
+            state = {"index": handle.index, "alive": handle.alive}
+            if handle.alive:
+                try:
+                    _, body = self._raw_request(
+                        handle, "GET", "/quality", None, timeout=5.0
+                    )
+                    payload = json.loads(body.decode("utf-8"))
+                except (OSError, http.client.HTTPException,
+                        json.JSONDecodeError):
+                    payload = None
+                if payload is not None:
+                    graphs.update(payload.get("graphs", {}))
+                    scored += int(payload.get("scored") or 0)
+                    correct += int(payload.get("correct") or 0)
+                    drift = payload.get("max_drift")
+                    if drift is not None:
+                        drift_values.append(float(drift))
+                    state["scored"] = payload.get("scored")
+                    state["accuracy"] = payload.get("accuracy")
+                    state["max_drift"] = payload.get("max_drift")
+            workers.append(state)
+        return {
+            "role": "router",
+            "n_workers": self.n_workers,
+            "workers": workers,
+            "graphs": graphs,
+            "scored": scored,
+            "correct": correct,
+            "accuracy": (correct / scored) if scored else None,
+            "max_drift": max(drift_values) if drift_values else None,
+        }
+
     def stats(self) -> dict:
         """Router tallies plus each worker's own ``/stats`` payload."""
         workers = []
@@ -657,6 +708,9 @@ class RouterHandler(BaseHTTPRequestHandler):
                 return True
             if parts == ["stats"]:
                 self._send_json(router.stats())
+                return True
+            if parts == ["quality"]:
+                self._send_json(router.quality())
                 return True
             if parts == ["metrics"]:
                 self._send_body(

@@ -866,6 +866,17 @@ class InferenceService:
                 **served.session.decision_stats(),
             }
 
+    def graph_quality(self, name: str) -> dict:
+        """Model-quality telemetry for one served graph.
+
+        The session's :class:`~repro.obs.quality.QualityMonitor` view:
+        prequential (test-then-train) accuracy against revealed labels,
+        belief churn, the calibration table, and the compatibility-drift
+        gauge.  All-zero while ``REPRO_OBS=off``.
+        """
+        served = self._served(name)
+        return {"graph": name, **served.session.quality_summary()}
+
     # -------------------------------------------------------------- queries
     @staticmethod
     def _check_nodes(nodes, n_nodes: int) -> np.ndarray:
@@ -1076,7 +1087,7 @@ class InferenceService:
             )
         with self._locked(name) as served, obs.span(
             "serve.delta", graph=name, n_deltas=len(deltas)
-        ):
+        ) as delta_span:
             errors: list[str | None] = []
             tokens: list[int | None] = []
             n_applied = 0
@@ -1126,6 +1137,18 @@ class InferenceService:
                 propagated = True
             elif n_applied:
                 reason = "deferred"
+            if obs.enabled():
+                # Quality attributes on the delta trace: the prequential
+                # score of this batch's reveals and the post-apply drift,
+                # so a sampled trace of a bad batch carries its own
+                # quality context.
+                monitor = served.session.quality
+                delta_span.annotate(
+                    prequential_last_accuracy=monitor.last_accuracy,
+                    prequential_scored=monitor.scored,
+                    drift=monitor.last_drift,
+                    churn_flips_total=monitor.flips_total,
+                )
             served._h_delta.observe(time.perf_counter() - delta_start)
             return DeltaBatchResult(
                 name=name,
@@ -1217,3 +1240,32 @@ class InferenceService:
                 "n_queries": 0, "n_deltas": 0, "n_solves": 0,
             }
         return stats
+
+    def quality(self) -> dict:
+        """Quality telemetry for every resident graph plus a rollup.
+
+        The rollup pools the prequential counts (so its accuracy is the
+        example-weighted mean) and takes the worst (max) drift — one
+        badly drifting graph should dominate the instance-level signal,
+        not be averaged away.
+        """
+        with self._registry_lock:
+            served_list = list(self._graphs.values())
+        graphs = {}
+        scored = correct = 0
+        drift_values = []
+        for served in served_list:
+            summary = served.session.quality_summary()
+            graphs[served.name] = summary
+            scored += summary["prequential"]["scored"]
+            correct += summary["prequential"]["correct"]
+            drift = summary["drift"]["value"]
+            if drift is not None:
+                drift_values.append(drift)
+        return {
+            "graphs": graphs,
+            "scored": scored,
+            "correct": correct,
+            "accuracy": (correct / scored) if scored else None,
+            "max_drift": max(drift_values) if drift_values else None,
+        }

@@ -138,6 +138,9 @@ class ReplayReport:
     """Aggregate outcome of one replay run."""
 
     steps: list[ReplayStepRecord] = field(default_factory=list)
+    # The session's quality-monitor view at end of replay (prequential
+    # accuracy, churn, drift); all-zero when REPRO_OBS=off.
+    quality: dict | None = None
 
     @property
     def n_incremental(self) -> int:
@@ -209,6 +212,7 @@ class ReplayReport:
             "mean_localized_seconds": self.mean_seconds("localized"),
             "total_touched_nnz": self.total_touched_nnz,
             "verified_speedup": self.verified_speedup,
+            "quality": self.quality,
             "steps": [record.to_dict() for record in self.steps],
         }
 
@@ -331,4 +335,5 @@ def replay_events(
         for delta in deltas:
             step = session.step(delta)
             record_step(step, delta.summary())
+    report.quality = session.quality_summary()
     return report

@@ -266,6 +266,17 @@ class StreamingSession:
             "Stored nonzeros visited by streaming solves.",
             **labels,
         )
+        # Quality telemetry (prequential accuracy, churn, drift) is pure
+        # observation: its hooks run only while obs is enabled and never
+        # write anything propagation reads.  The anchor graph's observed
+        # label pairs seed the drift estimate so the gauge starts from
+        # the same evidence DCE saw, not from an empty table.
+        self.quality = obs.QualityMonitor(
+            graph.n_classes, registry=self.registry, labels=labels,
+        )
+        if obs.enabled() and self.compatibility is not None:
+            self.quality.seed_pairs(self.graph.adjacency, self.seed_labels)
+            self.quality.refresh_drift(self.compatibility)
 
     # ------------------------------------------------------------- properties
     @property
@@ -326,6 +337,15 @@ class StreamingSession:
                 )
         application = apply_delta(self.graph.adjacency, delta, strict=self.strict)
 
+        # Quality telemetry reads state, never writes anything propagation
+        # consumes.  Structural edge changes are folded into the drift pair
+        # counts against *pre-reveal* labels; edges touching a node revealed
+        # in this same delta are picked up once by the post-absorb reveal
+        # scan below.
+        quality = self.quality if obs.enabled() else None
+        if quality is not None:
+            quality.observe_edges(delta, self.seed_labels)
+
         if delta.add_nodes:
             new_labels = (
                 delta.node_labels
@@ -339,6 +359,19 @@ class StreamingSession:
             ])
 
         if delta.reveal_nodes.shape[0]:
+            reveal_old_labels = None
+            if quality is not None:
+                # Prequential scoring: test-then-train.  The *current*
+                # beliefs are scored against the incoming labels strictly
+                # before those labels become seeds.
+                beliefs = (
+                    None if self.last_result is None else self.last_result.beliefs
+                )
+                quality.observe_reveal(
+                    beliefs, delta.reveal_nodes, delta.reveal_labels,
+                    self.seed_labels,
+                )
+                reveal_old_labels = self.seed_labels[delta.reveal_nodes].copy()
             self.seed_labels[delta.reveal_nodes] = delta.reveal_labels
 
         # Swap in the mutated adjacency and evolve the operator cache:
@@ -357,6 +390,18 @@ class StreamingSession:
                         application.adjacency, delta_degrees=application.delta_degrees
                     )
                 )
+
+        if quality is not None and delta.reveal_nodes.shape[0]:
+            # Post-absorb drift update: the newly revealed labels bring
+            # their edges to already-labeled neighbors into the pair
+            # statistics (and re-reveals that changed a label re-count
+            # their edges under the new label).
+            quality.observe_reveal_pairs(
+                self.graph.adjacency, delta.reveal_nodes,
+                reveal_old_labels, self.seed_labels,
+            )
+        if quality is not None and self.compatibility is not None:
+            quality.refresh_drift(self.compatibility)
 
         self._pending.absorb(delta, application.touched_nodes)
         self._edges_since_anchor += delta.n_changed_edges
@@ -501,6 +546,21 @@ class StreamingSession:
                 mode=decision.mode,
             ).observe(propagate_seconds)
 
+        if obs.enabled() and previous is not None:
+            # Belief churn: localized solves compare only the trusted
+            # frontier (off-frontier rows are provably unchanged there,
+            # so this matches a dense comparison on the touched set);
+            # dense solves compare every shared row.
+            churn_rows = (
+                localized_hint.rows
+                if decision.mode == "localized" and localized_hint is not None
+                else None
+            )
+            self.quality.observe_churn(
+                previous.beliefs, result.beliefs,
+                rows=churn_rows, mode=decision.mode,
+            )
+
         if decision.mode == "full":
             # Re-anchor: the drift and delta budgets restart here.
             self._anchor_radius = (
@@ -640,6 +700,14 @@ class StreamingSession:
                 "kernel_backend": kernels.active_backend(),
                 "localized_enabled": self.incremental.localized,
             }
+
+    def quality_summary(self) -> dict:
+        """The quality monitor's rolling view (prequential/churn/drift).
+
+        All zeros / None while ``REPRO_OBS=off`` — the hooks never ran.
+        """
+        with self.lock:
+            return self.quality.summary()
 
     def _pad_previous(self, previous: PropagationResult) -> PropagationResult:
         """Zero-pad a previous result's beliefs for nodes added since."""

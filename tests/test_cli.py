@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -324,6 +325,50 @@ class TestStreamCommand:
         assert payload["n_steps"] == 4  # initial solve + 3 deltas
         assert payload["max_deviation"] is not None
         assert payload["max_deviation"] <= 1e-6
+
+    def test_stream_json_includes_quality_block(self, graph_file, events_file,
+                                                tmp_path, capsys):
+        report_path = tmp_path / "replay.json"
+        exit_code = main([
+            "stream", str(graph_file), str(events_file),
+            "--method", "GS", "--fraction", "0.1", "--json", str(report_path),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        quality = payload["quality"]
+        assert quality["prequential"]["scored"] > 0
+        assert 0.0 <= quality["prequential"]["accuracy"] <= 1.0
+        assert quality["drift"]["value"] is not None
+        assert quality["churn"]["steps"] == 3
+        assert "prequential accuracy:" in output
+        assert "compatibility drift:" in output
+
+    def test_committed_drift_stream_shows_quality_regression(self, tmp_path,
+                                                             capsys):
+        """The shipped examples/streams/drift_events.jsonl replays into
+        collapsing prequential accuracy and a rising drift gauge (the same
+        story CI's quality smoke asserts against a live fleet)."""
+        stream = (Path(__file__).resolve().parent.parent
+                  / "examples/streams/drift_events.jsonl")
+        graph_path = tmp_path / "drift-graph.npz"
+        assert main([
+            "generate", "--nodes", "500", "--edges", "2500", "--classes", "3",
+            "--skew", "3", "--seed", "2", "-o", str(graph_path),
+        ]) == 0
+        report_path = tmp_path / "drift-replay.json"
+        assert main([
+            "stream", str(graph_path), str(stream),
+            "--method", "GS", "--fraction", "0.1", "--quiet",
+            "--json", str(report_path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        quality = payload["quality"]
+        assert quality["prequential"]["scored"] >= 100
+        assert quality["prequential"]["accuracy"] < 0.5  # noise dominates
+        assert quality["prequential"]["last_accuracy"] < 0.4
+        assert quality["drift"]["value"] > 0.3
 
     def test_stream_without_verification(self, graph_file, events_file, capsys):
         exit_code = main([

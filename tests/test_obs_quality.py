@@ -1,0 +1,440 @@
+"""Tests for repro.obs.quality: prequential accuracy, churn, drift.
+
+The load-bearing invariants:
+
+* quality telemetry is pure observation — replayed beliefs are bitwise
+  identical with REPRO_OBS on and off;
+* prequential scoring is strictly test-then-train and only counts real
+  predictions (already-labeled re-reveals and same-delta node births
+  are excluded);
+* the incremental drift pair counts always equal a from-scratch recount
+  of the current graph, whatever mix of deltas got there;
+* localized churn over the trusted frontier agrees with a dense
+  comparison (off-frontier rows are provably unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.compatibility import skew_compatibility
+from repro.core.statistics import gold_standard_compatibility
+from repro.eval.seeding import stratified_seed_labels
+from repro.graph.generator import generate_graph
+from repro.obs.quality import (
+    N_CALIBRATION_BUCKETS,
+    QualityMonitor,
+    empirical_compatibility,
+    normalized_drift,
+)
+from repro.propagation.engine import get_propagator
+from repro.stream import GraphDelta, StreamingSession
+
+
+@pytest.fixture()
+def registry():
+    with obs.use_registry() as swapped:
+        yield swapped
+
+
+@pytest.fixture(scope="module")
+def quality_graph():
+    return generate_graph(
+        300, 1_500, skew_compatibility(3, h=3.0), seed=7, name="quality-test"
+    )
+
+
+def make_session(graph, **kwargs):
+    propagator = get_propagator("linbp", max_iterations=300, tolerance=1e-10)
+    kwargs.setdefault(
+        "compatibility", gold_standard_compatibility(graph)
+    )
+    kwargs.setdefault(
+        "seed_labels",
+        stratified_seed_labels(graph.require_labels(), fraction=0.1, rng=2),
+    )
+    return StreamingSession(graph.copy(), propagator, strict=False, **kwargs)
+
+
+def recount_pairs(adjacency, seed_labels, n_classes) -> np.ndarray:
+    """From-scratch symmetric label-pair count over the current graph."""
+    counts = np.zeros((n_classes, n_classes), dtype=np.float64)
+    coo = adjacency.tocoo()
+    for u, v in zip(coo.row, coo.col):
+        if u > v or v >= seed_labels.shape[0]:
+            continue  # one orientation per undirected edge
+        a, b = int(seed_labels[u]), int(seed_labels[v])
+        if a < 0 or b < 0:
+            continue
+        counts[a, b] += 1.0
+        counts[b, a] += 1.0
+    return counts
+
+
+# ---------------------------------------------------------------- matrices
+class TestCompatibilityEstimate:
+    def test_row_normalizes_counts(self):
+        counts = np.array([[6.0, 2.0], [1.0, 3.0]])
+        estimate = empirical_compatibility(counts)
+        assert np.allclose(estimate, [[0.75, 0.25], [0.25, 0.75]])
+
+    def test_unobserved_rows_fall_back_to_uniform(self):
+        counts = np.array([[4.0, 0.0], [0.0, 0.0]])
+        estimate = empirical_compatibility(counts)
+        assert np.allclose(estimate[0], [1.0, 0.0])
+        assert np.allclose(estimate[1], [0.5, 0.5])
+
+    def test_drift_zero_when_counts_match_shape(self):
+        compatibility = np.array([[0.8, 0.2], [0.2, 0.8]])
+        counts = compatibility * 100  # same shape, different scale
+        assert normalized_drift(counts, compatibility) == pytest.approx(0.0)
+
+    def test_drift_positive_and_scale_insensitive(self):
+        homophilous = np.array([[0.9, 0.1], [0.1, 0.9]])
+        heterophilous_counts = np.array([[5.0, 95.0], [95.0, 5.0]])
+        drift = normalized_drift(heterophilous_counts, homophilous)
+        assert drift > 0.5
+        assert normalized_drift(
+            heterophilous_counts * 7, homophilous * 3
+        ) == pytest.approx(drift)
+
+    def test_drift_survives_centered_reference(self):
+        # LinBP's centered residual H has negative entries; the gauge
+        # must stay finite and zero when the shapes agree in magnitude.
+        centered = np.array([[0.5, -0.5], [-0.5, 0.5]])
+        assert np.isfinite(normalized_drift(np.ones((2, 2)), centered))
+
+
+# ------------------------------------------------------------- prequential
+class TestPrequential:
+    def test_scores_argmax_against_incoming_labels(self, registry):
+        monitor = QualityMonitor(3, registry=registry)
+        beliefs = np.array([
+            [0.9, 0.05, 0.05],   # predicts 0
+            [0.1, 0.8, 0.1],     # predicts 1
+            [0.2, 0.2, 0.6],     # predicts 2
+        ])
+        seed_labels = np.full(3, -1, dtype=np.int64)
+        accuracy = monitor.observe_reveal(
+            beliefs, np.array([0, 1, 2]), np.array([0, 2, 2]), seed_labels
+        )
+        assert accuracy == pytest.approx(2 / 3)
+        assert monitor.scored == 3 and monitor.correct == 2
+        assert monitor.accuracy == pytest.approx(2 / 3)
+        assert monitor.confusion[2, 1] == 1  # true 2 predicted as 1
+        assert monitor.confusion[0, 0] == 1 and monitor.confusion[2, 2] == 1
+
+    def test_already_labeled_reveal_is_not_scored(self, registry):
+        monitor = QualityMonitor(2, registry=registry)
+        beliefs = np.array([[0.9, 0.1], [0.2, 0.8]])
+        seed_labels = np.array([0, -1], dtype=np.int64)
+        # Node 0 is a re-reveal (label update), only node 1 is a test.
+        accuracy = monitor.observe_reveal(
+            beliefs, np.array([0, 1]), np.array([1, 1]), seed_labels
+        )
+        assert accuracy == pytest.approx(1.0)
+        assert monitor.scored == 1
+
+    def test_nodes_outside_belief_matrix_are_not_scored(self, registry):
+        monitor = QualityMonitor(2, registry=registry)
+        beliefs = np.array([[0.9, 0.1]])
+        seed_labels = np.full(5, -1, dtype=np.int64)
+        # Node 4 was created by this same delta: never predicted.
+        accuracy = monitor.observe_reveal(
+            beliefs, np.array([0, 4]), np.array([0, 1]), seed_labels
+        )
+        assert accuracy == pytest.approx(1.0)
+        assert monitor.scored == 1
+
+    def test_empty_reveal_and_missing_beliefs_return_none(self, registry):
+        monitor = QualityMonitor(2, registry=registry)
+        empty = np.empty(0, dtype=np.int64)
+        assert monitor.observe_reveal(
+            np.ones((2, 2)), empty, empty, np.full(2, -1)
+        ) is None
+        assert monitor.observe_reveal(
+            None, np.array([0]), np.array([1]), np.full(2, -1)
+        ) is None
+        assert monitor.scored == 0 and monitor.reveal_deltas == 0
+
+    def test_topk_hits_count_near_misses(self, registry):
+        monitor = QualityMonitor(3, registry=registry, top_k=2)
+        beliefs = np.array([[0.5, 0.4, 0.1]])
+        seed_labels = np.full(1, -1, dtype=np.int64)
+        monitor.observe_reveal(
+            beliefs, np.array([0]), np.array([1]), seed_labels
+        )
+        assert monitor.correct == 0
+        assert monitor.topk_hits == 1  # true class was ranked second
+
+    def test_calibration_buckets_by_normalized_confidence(self, registry):
+        monitor = QualityMonitor(2, registry=registry)
+        beliefs = np.array([
+            [1.0, 0.0],   # confidence 1.0 -> top bucket
+            [0.55, 0.45], # confidence 0.55 -> bucket 5
+        ])
+        seed_labels = np.full(2, -1, dtype=np.int64)
+        monitor.observe_reveal(
+            beliefs, np.array([0, 1]), np.array([0, 1]), seed_labels
+        )
+        assert monitor.calibration_total[N_CALIBRATION_BUCKETS - 1] == 1
+        assert monitor.calibration_total[5] == 1
+        summary = monitor.summary()
+        top_band = summary["calibration"][-1]
+        assert top_band["empirical_accuracy"] == pytest.approx(1.0)
+
+    def test_counters_reach_the_registry(self, registry):
+        monitor = QualityMonitor(2, registry=registry, labels={"session": "s1"})
+        beliefs = np.array([[0.9, 0.1], [0.9, 0.1]])
+        monitor.observe_reveal(
+            beliefs, np.array([0, 1]), np.array([0, 1]),
+            np.full(2, -1, dtype=np.int64),
+        )
+        snapshot = registry.snapshot()
+        family = snapshot["families"]["repro_quality_prequential_total"]
+        by_outcome = {
+            dict(label_items)["outcome"]: payload["value"]
+            for label_items, payload in family["children"]
+        }
+        assert by_outcome["correct"] == 1.0
+        assert by_outcome["wrong"] == 1.0
+
+
+# ------------------------------------------------------------------ churn
+class TestChurn:
+    def test_dense_movement_and_flips(self, registry):
+        monitor = QualityMonitor(2, registry=registry)
+        before = np.array([[0.9, 0.1], [0.2, 0.8]])
+        after = np.array([[0.9, 0.1], [0.7, 0.3]])  # node 1 flips 1 -> 0
+        churn = monitor.observe_churn(before, after)
+        assert churn["flips"] == 1
+        assert churn["n_compared"] == 2
+        assert churn["l1_per_node"] == pytest.approx(0.5)
+        assert churn["linf"] == pytest.approx(0.5)
+        assert monitor.flips_total == 1
+
+    def test_localized_agrees_with_dense_on_the_frontier(self, registry):
+        rng = np.random.default_rng(0)
+        before = rng.random((50, 3))
+        after = before.copy()
+        frontier = np.array([3, 17, 41])
+        after[frontier] = rng.random((3, 3))  # off-frontier rows untouched
+        dense = QualityMonitor(3, registry=registry)
+        localized = QualityMonitor(3, registry=registry, labels={"m": "loc"})
+        d = dense.observe_churn(before, after, mode="full")
+        l = localized.observe_churn(before, after, rows=frontier, mode="localized")
+        assert l["flips"] == d["flips"]
+        assert l["linf"] == pytest.approx(d["linf"])
+        # Dense averages over all rows, localized over the frontier only:
+        # the total movement is identical.
+        assert l["l1_per_node"] * 3 == pytest.approx(d["l1_per_node"] * 50)
+
+    def test_grown_matrix_compares_shared_rows(self, registry):
+        monitor = QualityMonitor(2, registry=registry)
+        before = np.array([[0.9, 0.1]])
+        after = np.array([[0.9, 0.1], [0.5, 0.5]])  # a node was added
+        churn = monitor.observe_churn(before, after)
+        assert churn["n_compared"] == 1
+        assert churn["flips"] == 0
+
+    def test_empty_frontier_records_a_zero_step(self, registry):
+        monitor = QualityMonitor(2, registry=registry)
+        before = np.ones((4, 2))
+        churn = monitor.observe_churn(
+            before, before, rows=np.empty(0, dtype=np.int64), mode="localized"
+        )
+        assert churn["n_compared"] == 0 and churn["flips"] == 0
+        assert monitor.churn_steps == 1
+
+
+# ------------------------------------------------------------------ drift
+class TestDriftBookkeeping:
+    def test_seed_pairs_counts_each_undirected_edge_once(self, registry, path_graph):
+        monitor = QualityMonitor(2, registry=registry)
+        labels = path_graph.labels  # 0 1 0 1 0 along a path
+        monitor.seed_pairs(path_graph.adjacency, labels)
+        expected = recount_pairs(path_graph.adjacency, labels, 2)
+        assert np.array_equal(monitor.pair_counts, expected)
+        assert monitor.pairs_observed == 4.0
+
+    def test_edges_and_reveals_track_a_recount(self, registry, quality_graph):
+        session = make_session(quality_graph)
+        session.propagate()
+        rng = np.random.default_rng(13)
+        truth = quality_graph.require_labels()
+        for step in range(6):
+            hidden = np.flatnonzero(session.seed_labels < 0)
+            reveal = rng.choice(hidden, size=4, replace=False)
+            delta = GraphDelta(
+                add_edges=rng.integers(
+                    0, session.graph.n_nodes, size=(5, 2)
+                ).astype(np.int64),
+                reveal_nodes=reveal,
+                reveal_labels=truth[reveal],
+            )
+            session.step(delta)
+            expected = recount_pairs(
+                session.graph.adjacency, session.seed_labels,
+                session.graph.n_classes,
+            )
+            assert np.array_equal(session.quality.pair_counts, expected), (
+                f"pair counts diverged from recount at step {step}"
+            )
+
+    def test_re_reveal_with_changed_label_moves_pairs(self, registry, path_graph):
+        session = make_session(
+            path_graph,
+            compatibility=np.array([[0.1, 0.9], [0.9, 0.1]]),
+            seed_labels=np.array([0, 1, 0, 1, 0], dtype=np.int64),
+        )
+        session.propagate()
+        before = session.quality.pair_counts.copy()
+        assert before[0, 1] == 4.0  # fully-labeled alternating path
+        # Flip node 2's label 0 -> 1: edges 1-2 and 2-3 become (1, 1).
+        session.step(GraphDelta(
+            reveal_nodes=np.array([2]), reveal_labels=np.array([1])
+        ))
+        counts = session.quality.pair_counts
+        expected = recount_pairs(
+            session.graph.adjacency, session.seed_labels, 2
+        )
+        assert np.array_equal(counts, expected)
+        assert counts[1, 1] == 4.0  # two (1,1) edges, both orientations
+
+    def test_adjacent_nodes_revealed_in_one_delta_count_once(
+        self, registry, path_graph
+    ):
+        session = make_session(
+            path_graph,
+            compatibility=np.array([[0.1, 0.9], [0.9, 0.1]]),
+            seed_labels=np.array([-1, -1, -1, -1, -1], dtype=np.int64),
+        )
+        session.propagate()
+        session.step(GraphDelta(
+            reveal_nodes=np.array([1, 2]), reveal_labels=np.array([1, 0])
+        ))
+        expected = recount_pairs(
+            session.graph.adjacency, session.seed_labels, 2
+        )
+        assert np.array_equal(session.quality.pair_counts, expected)
+        assert session.quality.pair_counts[0, 1] == 1.0
+
+    def test_removed_edges_decrement(self, registry, path_graph):
+        session = make_session(
+            path_graph,
+            compatibility=np.array([[0.1, 0.9], [0.9, 0.1]]),
+            seed_labels=np.array([0, 1, 0, 1, 0], dtype=np.int64),
+        )
+        session.propagate()
+        session.step(GraphDelta(remove_edges=np.array([[1, 2]])))
+        expected = recount_pairs(
+            session.graph.adjacency, session.seed_labels, 2
+        )
+        assert np.array_equal(session.quality.pair_counts, expected)
+
+    def test_drift_gauge_rises_under_label_noise(self, registry, quality_graph):
+        session = make_session(quality_graph)
+        session.propagate()
+        start = session.quality.last_drift
+        assert start is not None
+        rng = np.random.default_rng(3)
+        truth = quality_graph.require_labels()
+        for _ in range(8):
+            hidden = np.flatnonzero(session.seed_labels < 0)
+            reveal = rng.choice(hidden, size=8, replace=False)
+            # Adversarial labels: deterministically wrong classes.
+            noisy = (truth[reveal] + 1) % quality_graph.n_classes
+            session.step(GraphDelta(reveal_nodes=reveal, reveal_labels=noisy))
+        assert session.quality.last_drift > start
+        snapshot = registry.snapshot()
+        family = snapshot["families"]["repro_quality_drift"]
+        assert max(
+            payload["value"] for _, payload in family["children"]
+        ) == pytest.approx(session.quality.last_drift)
+
+
+# ----------------------------------------------------- session integration
+class TestSessionIntegration:
+    def test_reveals_are_scored_before_absorption(self, registry, quality_graph):
+        session = make_session(quality_graph)
+        session.propagate()
+        hidden = np.flatnonzero(session.seed_labels < 0)
+        truth = quality_graph.require_labels()
+        # Feed labels that contradict the model's current argmax so a
+        # train-then-test bug (scoring after absorption re-anchors the
+        # node) would report spuriously perfect accuracy.
+        beliefs = session.last_result.beliefs
+        predicted = np.argmax(beliefs[hidden], axis=1)
+        wrong = hidden[predicted != truth[hidden]][:5]
+        assert wrong.shape[0] > 0
+        session.step(GraphDelta(
+            reveal_nodes=wrong, reveal_labels=truth[wrong]
+        ))
+        preq = session.quality_summary()["prequential"]
+        assert preq["scored"] == wrong.shape[0]
+        assert preq["accuracy"] == pytest.approx(0.0)
+
+    def test_localized_step_reports_localized_churn(self, registry, quality_graph):
+        session = make_session(quality_graph)
+        session.propagate()
+        delta = GraphDelta(add_edges=np.array([[0, 5]], dtype=np.int64))
+        step = session.step(delta)
+        churn = session.quality_summary()["churn"]
+        assert churn["steps"] == 1
+        assert churn["last"]["mode"] == step.mode
+
+    def test_off_mode_summary_is_inert(self, quality_graph):
+        previous = obs.set_enabled(False)
+        try:
+            with obs.use_registry():
+                session = make_session(quality_graph)
+                session.propagate()
+                hidden = np.flatnonzero(session.seed_labels < 0)
+                truth = quality_graph.require_labels()
+                session.step(GraphDelta(
+                    reveal_nodes=hidden[:3], reveal_labels=truth[hidden[:3]]
+                ))
+                summary = session.quality_summary()
+        finally:
+            obs.set_enabled(previous)
+        assert summary["prequential"]["scored"] == 0
+        assert summary["churn"]["steps"] == 0
+        assert summary["drift"]["pairs_observed"] == 0.0
+
+    def test_beliefs_bitwise_identical_obs_on_vs_off(self, quality_graph):
+        """Quality telemetry must be pure observation."""
+        truth = quality_graph.require_labels()
+        rng = np.random.default_rng(29)
+
+        def run():
+            with obs.use_registry():
+                session = make_session(quality_graph)
+                session.propagate()
+                stream_rng = np.random.default_rng(91)
+                for _ in range(5):
+                    hidden = np.flatnonzero(session.seed_labels < 0)
+                    reveal = stream_rng.choice(hidden, size=3, replace=False)
+                    delta = GraphDelta(
+                        add_edges=stream_rng.integers(
+                            0, session.graph.n_nodes, size=(4, 2)
+                        ).astype(np.int64),
+                        remove_edges=np.empty((0, 2), dtype=np.int64),
+                        reveal_nodes=reveal,
+                        reveal_labels=truth[reveal],
+                    )
+                    session.step(delta)
+                return session.last_result.beliefs.copy(), session
+
+        previous = obs.set_enabled(True)
+        try:
+            beliefs_on, session_on = run()
+            assert session_on.quality.scored > 0  # telemetry actually ran
+            obs.set_enabled(False)
+            beliefs_off, session_off = run()
+            assert session_off.quality.scored == 0  # and was actually off
+        finally:
+            obs.set_enabled(previous)
+        assert beliefs_on.dtype == beliefs_off.dtype
+        assert np.array_equal(beliefs_on, beliefs_off)

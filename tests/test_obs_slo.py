@@ -64,6 +64,8 @@ class TestSpecValidation:
         ({"kind": "ratio_max", "metric": "m", "max": 1}, "needs 'denominator'"),
         ({"kind": "burn_rate", "metric": "m", "denominator": "d"}, "budget"),
         ({"kind": "quantile_max", "metric": "m", "max": 1, "q": 2}, "'q'"),
+        ({"kind": "min_quantile", "metric": "m", "q": 0.5}, "needs 'min'"),
+        ({"kind": "min_quantile", "metric": "m", "min": 0.6, "q": 0}, "'q'"),
     ])
     def test_invalid_rules_raise_naming_the_rule(self, payload, message):
         payload.setdefault("name", "bad-rule")
@@ -120,6 +122,39 @@ class TestEvaluation:
             labels={"method": "GET"},
         ).evaluate(recorder)
         assert not other_label.data  # selector matched nothing
+
+    def test_min_quantile_floor(self, registry, recorder):
+        from repro.obs.quality import ACCURACY_BUCKETS
+
+        histogram = registry.histogram(
+            "repro_quality_prequential_accuracy", "",
+            buckets=list(ACCURACY_BUCKETS),
+        )
+        recorder.sample()
+        for _ in range(10):
+            histogram.observe(0.95)
+        recorder.clock.advance(1.0)
+        recorder.sample()
+        floor = rule(
+            kind="min_quantile",
+            metric="repro_quality_prequential_accuracy", q=0.5, min=0.6,
+        )
+        assert floor.evaluate(recorder).ok
+        # Accuracy collapses: the median of the window drops under the floor.
+        for _ in range(40):
+            histogram.observe(0.15)
+        recorder.clock.advance(1.0)
+        recorder.sample()
+        status = floor.evaluate(recorder)
+        assert status.firing
+        assert status.value < 0.6
+        assert "<" in status.detail
+
+    def test_min_quantile_no_data_is_ok(self, recorder):
+        status = rule(
+            kind="min_quantile", metric="missing_seconds", q=0.5, min=0.6,
+        ).evaluate(recorder)
+        assert status.ok and not status.data
 
     def test_gauge_bounds(self, registry, recorder):
         registry.gauge("depth", "").set(90)

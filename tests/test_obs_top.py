@@ -147,3 +147,102 @@ class TestTopClient:
         client = obs_top.TopClient([f":{workers[0].port}"], clock=clock)
         client.poll()
         assert client.summary()["fleet"]["cache_hit_ratio"] == pytest.approx(0.75)
+
+
+def seed_quality(stub: MetricsStub, correct: int, wrong: int, drift: float) -> None:
+    stub.registry.counter(
+        obs_top.PREQUENTIAL, "", outcome="correct", session="s1"
+    )._value = float(correct)
+    stub.registry.counter(
+        obs_top.PREQUENTIAL, "", outcome="wrong", session="s1"
+    )._value = float(wrong)
+    stub.registry.counter(obs_top.QUALITY_FLIPS, "", session="s1").inc(2)
+    stub.registry.gauge(obs_top.QUALITY_DRIFT, "", session="s1").set(drift)
+
+
+class TestQualityPane:
+    def test_summary_quality_block_sums_counters_and_maxes_drift(self, workers):
+        clock = FakeClock()
+        seed_worker(workers[0], queries=1)
+        seed_worker(workers[1], queries=1)
+        seed_quality(workers[0], correct=30, wrong=10, drift=0.12)
+        seed_quality(workers[1], correct=10, wrong=10, drift=0.48)
+        client = obs_top.TopClient(
+            [f":{w.port}" for w in workers], clock=clock,
+        )
+        client.poll()
+        quality = client.summary()["quality"]
+        assert quality["scored"] == 60
+        assert quality["accuracy"] == pytest.approx(40 / 60)
+        assert quality["drift_max"] == pytest.approx(0.48)  # worst session
+        assert quality["flips_total"] == 4
+
+    def test_window_accuracy_uses_deltas_not_totals(self, workers):
+        clock = FakeClock()
+        seed_worker(workers[0], queries=1)
+        seed_quality(workers[0], correct=100, wrong=100, drift=0.0)
+        client = obs_top.TopClient([f":{workers[0].port}"], clock=clock)
+        client.poll()
+        # Lifetime accuracy is 50%, but everything in the window is correct.
+        registry = workers[0].registry
+        registry.counter(
+            obs_top.PREQUENTIAL, "", outcome="correct", session="s1"
+        ).inc(20)
+        clock.advance(1.0)
+        client.poll()
+        quality = client.summary()["quality"]
+        assert quality["accuracy"] == pytest.approx(120 / 220)
+        assert quality["window_accuracy"] == pytest.approx(1.0)
+
+    def test_accuracy_series_skips_counter_resets(self, workers):
+        """A restarted worker resets its counters; the per-interval
+        accuracy series must drop that sample instead of emitting a
+        negative delta (same clamping contract as counter_delta)."""
+        clock = FakeClock()
+        seed_worker(workers[0], queries=1)
+        seed_quality(workers[0], correct=50, wrong=50, drift=0.0)
+        client = obs_top.TopClient([f":{workers[0].port}"], clock=clock)
+        client.poll()
+        registry = workers[0].registry
+        registry.counter(
+            obs_top.PREQUENTIAL, "", outcome="correct", session="s1"
+        ).inc(10)
+        clock.advance(1.0)
+        client.poll()
+        # Simulated restart: totals fall back below the previous sample.
+        registry.counter(
+            obs_top.PREQUENTIAL, "", outcome="correct", session="s1"
+        )._value = 1.0
+        registry.counter(
+            obs_top.PREQUENTIAL, "", outcome="wrong", session="s1"
+        )._value = 0.0
+        clock.advance(1.0)
+        client.poll()
+        points = obs_top._accuracy_series(client.recorder, 60.0)
+        assert len(points) == 1  # only the honest pre-reset interval
+        assert points[0][1] == pytest.approx(1.0)
+        # And the windowed accuracy built on counter_delta stays clamped.
+        quality = client.summary()["quality"]
+        assert quality["window_accuracy"] is None or 0 <= quality["window_accuracy"] <= 1
+
+    def test_instance_rows_carry_gauge_values(self, workers):
+        clock = FakeClock()
+        seed_worker(workers[0], queries=3, depth=7)
+        seed_quality(workers[0], correct=1, wrong=0, drift=0.25)
+        client = obs_top.TopClient([f":{workers[0].port}"], clock=clock)
+        client.poll()
+        row = client.summary()["instances"][f"127.0.0.1:{workers[0].port}"]
+        assert row["gauges"][obs_top.QUEUE_DEPTH] == 7
+        assert row["gauges"][obs_top.QUALITY_DRIFT] == pytest.approx(0.25)
+
+    def test_render_includes_quality_line(self, workers):
+        clock = FakeClock()
+        seed_worker(workers[0], queries=2)
+        seed_quality(workers[0], correct=3, wrong=1, drift=0.2)
+        client = obs_top.TopClient([f":{workers[0].port}"], clock=clock)
+        client.poll()
+        clock.advance(1.0)
+        client.poll()
+        text = obs_top.render(client)
+        assert "quality" in text
+        assert "drift" in text

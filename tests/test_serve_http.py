@@ -130,6 +130,35 @@ class TestEndpoints:
         status, _ = call(server, "POST", "/graphs/extra/query", {"nodes": [1]})
         assert status == 404
 
+    def test_quality_endpoints(self, server, http_graph):
+        service = server.service
+        session = service._served("g").session
+        truth = http_graph.require_labels()
+        hidden = np.flatnonzero(session.seed_labels < 0)[:4]
+        status, outcome = call(
+            server, "POST", "/graphs/g/delta",
+            {"reveal": [[int(n), int(truth[n])] for n in hidden]},
+        )
+        assert status == 200, outcome
+
+        status, quality = call(server, "GET", "/graphs/g/quality")
+        assert status == 200
+        assert quality["graph"] == "g"
+        assert quality["prequential"]["scored"] == 4
+        assert 0.0 <= quality["prequential"]["accuracy"] <= 1.0
+        assert quality["drift"]["value"] is not None
+        assert quality["churn"]["steps"] >= 1
+
+        status, fleet = call(server, "GET", "/quality")
+        assert status == 200
+        assert fleet["scored"] == 4
+        assert fleet["accuracy"] == quality["prequential"]["accuracy"]
+        assert fleet["max_drift"] == quality["drift"]["value"]
+        assert fleet["graphs"]["g"]["prequential"]["scored"] == 4
+
+        status, _ = call(server, "GET", "/graphs/nope/quality")
+        assert status == 404
+
     def test_stats_includes_batcher(self, server):
         call(server, "POST", "/graphs/g/query", {"nodes": [3]})
         status, stats = call(server, "GET", "/stats")

@@ -113,3 +113,49 @@ def test_concurrent_appends_interleave_whole_records(tmp_path):
     assert len(entries) == n_threads * per_thread
     payloads = {entry[1]["add_nodes"] for entry in entries}
     assert len(payloads) == n_threads * per_thread  # nothing lost
+
+
+class TestSeenIdLru:
+    def test_cap_evicts_oldest_ids_and_counts(self, tmp_path):
+        from repro import obs
+
+        with obs.use_registry() as registry:
+            queue = DeltaQueue(tmp_path, max_seen_ids=3)
+            for i in range(5):
+                queue.append("s", {"add_nodes": i}, delta_id=f"id-{i}")
+            # Only the 3 newest ids survive; the evicted ones re-append.
+            assert queue.seen("s", "id-4") == 5
+            assert queue.seen("s", "id-0") is None
+            assert queue.append("s", {"add_nodes": 0}, delta_id="id-0") == 6
+            evicted = registry.snapshot()["families"][
+                "repro_queue_seen_ids_evicted_total"
+            ]["children"][0][1]["value"]
+            assert evicted == 3.0  # id-0, id-1 on append; id-2 on re-append
+
+    def test_dedupe_hit_refreshes_recency(self, tmp_path):
+        queue = DeltaQueue(tmp_path, max_seen_ids=2)
+        queue.append("s", {"add_nodes": 0}, delta_id="hot")
+        queue.append("s", {"add_nodes": 1}, delta_id="other")
+        assert queue.append("s", {"add_nodes": 0}, delta_id="hot") == 1
+        # "other" is now the oldest and gets evicted by the next new id.
+        queue.append("s", {"add_nodes": 2}, delta_id="new")
+        assert queue.seen("s", "hot") == 1
+        assert queue.seen("s", "other") is None
+
+    def test_replay_rebuilds_only_the_newest_ids(self, tmp_path):
+        writer = DeltaQueue(tmp_path)
+        for i in range(6):
+            writer.append("s", {"add_nodes": i}, delta_id=f"id-{i}")
+        fresh = DeltaQueue(tmp_path, max_seen_ids=2)
+        fresh.replay("s")
+        assert fresh.seen("s", "id-5") == 6
+        assert fresh.seen("s", "id-4") == 5
+        assert fresh.seen("s", "id-0") is None
+
+    def test_invalid_cap_rejected_and_none_unbounded(self, tmp_path):
+        with pytest.raises(ValueError, match="max_seen_ids"):
+            DeltaQueue(tmp_path, max_seen_ids=0)
+        queue = DeltaQueue(tmp_path, max_seen_ids=None)
+        for i in range(50):
+            queue.append("s", {"add_nodes": i}, delta_id=f"id-{i}")
+        assert queue.seen("s", "id-0") == 1

@@ -384,6 +384,47 @@ class TestFleetReads:
             assert worker["stats"] is not None
             assert "graphs" in worker["stats"]
 
+    def test_quality_aggregates_across_workers(self, fleet, graph_path):
+        router, base = fleet
+        # One session per worker so the merge is exercised for real.
+        names = [
+            name_owned_by(index, prefix=f"quality{index}-")
+            for index in range(N_WORKERS)
+        ]
+        for name in names:
+            load_session(base, graph_path, name)
+            # fraction=0.1 leaves ~90% of nodes unlabeled: revealing a
+            # spread of nodes guarantees some prequentially scorable ones.
+            reveal = [[node, node % 3] for node in range(0, 40, 4)]
+            status, body = request(
+                base, "POST", f"/graphs/{name}/delta", {"reveal": reveal},
+            )
+            assert status == 200, body
+
+        status, body = request(base, "GET", "/quality")
+        assert status == 200
+        assert body["role"] == "router"
+        assert set(names) <= set(body["graphs"])
+        per_graph = sum(
+            body["graphs"][name]["prequential"]["scored"] for name in names
+        )
+        assert per_graph > 0
+        assert body["scored"] >= per_graph
+        assert body["max_drift"] is not None
+        scored_workers = [
+            worker for worker in body["workers"] if worker["scored"] > 0
+        ]
+        assert len(scored_workers) == N_WORKERS
+
+        # The per-graph view proxies through to the owning worker.
+        status, one = request(base, "GET", f"/graphs/{names[0]}/quality")
+        assert status == 200
+        assert one["graph"] == names[0]
+        assert one["prequential"]["scored"] > 0
+
+        for name in names:  # leave the fleet as we found it
+            request(base, "DELETE", f"/graphs/{name}")
+
     def test_404_for_unknown_route(self, fleet):
         _, base = fleet
         status, body = request(base, "GET", "/nonsense")
